@@ -1,0 +1,17 @@
+//! # vax-analysis
+//!
+//! Data reduction: from a µPC histogram (plus the control-store map and the
+//! auxiliary counters) to the paper's Tables 1–9 and §4 event rates.
+//!
+//! The reduction mirrors the paper's method: the histogram is interpreted
+//! *by address* against the control-store map — each location's activity
+//! (Table 8 row) and microinstruction kind, combined with the counter plane,
+//! yield the six cycle classes (Table 8 columns). Routine entry-point counts
+//! yield event frequencies (specifier modes, TB misses).
+
+pub mod analysis;
+pub mod paper;
+pub mod tables;
+
+pub use analysis::Analysis;
+pub use tables::print_all_tables;

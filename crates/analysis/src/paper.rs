@@ -1,0 +1,128 @@
+//! The paper's published numbers, used for paper-vs-measured reporting.
+//!
+//! Cells marked *OCR-approximate* in comments are garbled in our source
+//! scan of the paper; row/column totals and all headline values are
+//! legible. See EXPERIMENTS.md for the provenance discussion.
+
+/// Table 1: opcode group frequency (percent), in
+/// `OpcodeGroup::ALL` order (SIMPLE, FIELD, FLOAT, CALL/RET, SYSTEM,
+/// CHARACTER, DECIMAL).
+pub const TABLE1_GROUP_PERCENT: [f64; 7] = [83.60, 6.92, 3.62, 3.22, 2.11, 0.43, 0.03];
+
+/// Table 2 rows: (executed % of all instructions, taken %, taken % of all
+/// instructions), in `BranchKind::TABLE2_ROWS` order.
+pub const TABLE2: [(f64, f64, f64); 9] = [
+    (19.3, 56.0, 10.9), // simple cond + BRB/BRW
+    (4.1, 91.0, 3.7),   // loop branches
+    (2.0, 41.0, 0.8),   // low-bit tests
+    (4.5, 100.0, 4.5),  // subroutine call/return
+    (0.3, 100.0, 0.3),  // unconditional JMP
+    (0.9, 100.0, 0.9),  // case branch
+    (4.3, 44.0, 1.9),   // bit branches
+    (2.4, 100.0, 2.4),  // procedure call/return
+    (0.4, 100.0, 0.4),  // system branches
+];
+
+/// Table 2 totals: (executed %, taken %, taken % of all).
+pub const TABLE2_TOTAL: (f64, f64, f64) = (38.5, 67.0, 25.7);
+
+/// Table 3: specifiers and branch displacements per average instruction.
+pub const TABLE3_SPEC1: f64 = 0.726;
+/// Other (second through sixth) specifiers per instruction.
+pub const TABLE3_SPEC26: f64 = 0.758;
+/// Branch displacements per instruction.
+pub const TABLE3_BDISP: f64 = 0.312;
+
+/// Table 4 (percent of specifiers): rows (register, literal, immediate,
+/// displacement, indexed%) × columns (SPEC1, SPEC2-6, total). Memory-mode
+/// detail rows beyond displacement are OCR-garbled in our source; we
+/// compare the legible ones.
+pub const TABLE4_REGISTER: (f64, f64, f64) = (28.7, 52.6, 41.0);
+/// Short literal row.
+pub const TABLE4_LITERAL: (f64, f64, f64) = (21.1, 10.8, 15.8);
+/// Immediate row.
+pub const TABLE4_IMMEDIATE: (f64, f64, f64) = (3.2, 1.7, 2.4);
+/// Displacement row (SPEC1 column only is legible).
+pub const TABLE4_DISP_SPEC1: f64 = 25.0;
+/// Percent of specifiers carrying an index prefix.
+pub const TABLE4_INDEXED: (f64, f64, f64) = (8.5, 4.2, 6.3);
+
+/// Table 5: D-stream reads and writes per average instruction, total row.
+pub const TABLE5_READS_TOTAL: f64 = 0.783;
+/// Total writes per instruction.
+pub const TABLE5_WRITES_TOTAL: f64 = 0.409;
+/// Reads per instruction by source row: Spec1, Spec2-6 (the two largest,
+/// clearly legible).
+pub const TABLE5_READS_SPEC1: f64 = 0.306;
+/// Spec2-6 reads per instruction.
+pub const TABLE5_READS_SPEC26: f64 = 0.148;
+/// Unaligned references per instruction (§3.3.1).
+pub const UNALIGNED_PER_INSTR: f64 = 0.016;
+
+/// Table 6: average instruction size in bytes.
+pub const TABLE6_AVG_INSTR_BYTES: f64 = 3.8;
+/// Average operand-specifier size in bytes.
+pub const TABLE6_AVG_SPEC_BYTES: f64 = 1.68;
+
+/// Table 7: instruction headway between events.
+pub const TABLE7_SOFT_REQ_HEADWAY: f64 = 2539.0;
+/// Hardware + software interrupts delivered.
+pub const TABLE7_INTERRUPT_HEADWAY: f64 = 637.0;
+/// Context switches.
+pub const TABLE7_CONTEXT_SWITCH_HEADWAY: f64 = 6418.0;
+
+/// §4.1: IB cache references per instruction.
+pub const IB_REFS_PER_INSTR: f64 = 2.2;
+/// §4.1: bytes delivered per IB reference.
+pub const IB_BYTES_PER_REF: f64 = 1.7;
+/// §4.2: cache read misses per instruction (total, I-stream, D-stream).
+pub const CACHE_MISSES_PER_INSTR: (f64, f64, f64) = (0.28, 0.18, 0.10);
+/// §4.2: TB misses per instruction (total, D-stream, I-stream).
+pub const TB_MISSES_PER_INSTR: (f64, f64, f64) = (0.029, 0.020, 0.009);
+/// §4.2: average cycles to service a TB miss (3.5 of them read stalls).
+pub const TB_MISS_SERVICE_CYCLES: f64 = 21.6;
+
+/// Table 8 column totals (Compute, Read, R-Stall, Write, W-Stall,
+/// IB-Stall) in cycles per average instruction.
+pub const TABLE8_COLUMN_TOTALS: [f64; 6] = [7.267, 0.783, 0.964, 0.409, 0.450, 0.720];
+
+/// Table 8 grand total: cycles per average VAX instruction.
+pub const TABLE8_CPI: f64 = 10.593;
+
+/// Table 8 row totals in `Activity::ALL` order (Decode, Spec1, Spec2-6,
+/// B-Disp, Simple, Field, Float, Call/Ret, System, Character, Decimal,
+/// Int/Except, Mem Mgmt, Abort). Spec1/Spec2-6 are reconstructed from the
+/// grand total (OCR-approximate).
+pub const TABLE8_ROW_TOTALS: [f64; 14] = [
+    1.613, 1.944, 1.392, 0.226, 0.977, 0.600, 0.302, 1.458, 0.522, 0.506, 0.031, 0.071,
+    0.824, 0.127,
+];
+
+/// Table 8 Decode row detail: (compute, ib-stall, total).
+pub const TABLE8_DECODE: (f64, f64, f64) = (1.000, 0.613, 1.613);
+
+/// Table 9: cycles per instruction *within* each group (execute phase
+/// only, unweighted), Table-1 group order.
+pub const TABLE9_GROUP_TOTALS: [f64; 7] = [1.17, 8.67, 8.33, 45.25, 24.74, 117.04, 100.77];
+
+/// Table 9 Decimal row detail (fully legible): compute, read, r-stall,
+/// write, w-stall, total.
+pub const TABLE9_DECIMAL: [f64; 6] = [84.37, 5.64, 1.59, 3.94, 5.24, 100.77];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn internal_consistency() {
+        let col: f64 = TABLE8_COLUMN_TOTALS.iter().sum();
+        assert!((col - TABLE8_CPI).abs() < 0.01);
+        let row: f64 = TABLE8_ROW_TOTALS.iter().sum();
+        assert!((row - TABLE8_CPI).abs() < 0.02, "row sum {row}");
+        let groups: f64 = TABLE1_GROUP_PERCENT.iter().sum();
+        assert!((groups - 99.93).abs() < 0.2);
+        // Table 9 × Table 1 frequency ≈ Table 8 execute rows.
+        let callret = TABLE9_GROUP_TOTALS[3] * TABLE1_GROUP_PERCENT[3] / 100.0;
+        assert!((callret - 1.458).abs() < 0.01, "{callret}");
+    }
+}

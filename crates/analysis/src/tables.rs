@@ -1,0 +1,511 @@
+//! Paper-vs-measured table rendering.
+
+use std::fmt::Write as _;
+use upc_monitor::{Activity, CycleClass};
+use vax_arch::{AddressingMode, BranchKind, OpcodeGroup};
+
+use crate::analysis::Analysis;
+use crate::paper;
+
+fn line(out: &mut String, s: &str) {
+    out.push_str(s);
+    out.push('\n');
+}
+
+/// Table 1: opcode group frequency.
+pub fn table1(a: &Analysis) -> String {
+    let mut out = String::new();
+    line(&mut out, "Table 1 — Opcode Group Frequency (percent)");
+    line(&mut out, "group        measured    paper");
+    let measured = a.group_percent();
+    for (i, g) in OpcodeGroup::ALL.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>8.2} {:>8.2}",
+            g.name(),
+            measured[i],
+            paper::TABLE1_GROUP_PERCENT[i]
+        );
+    }
+    out
+}
+
+/// Table 2: PC-changing instructions.
+pub fn table2(a: &Analysis) -> String {
+    let mut out = String::new();
+    line(&mut out, "Table 2 — PC-Changing Instructions");
+    line(
+        &mut out,
+        "class                            exec%   (paper)  taken%  (paper)  taken/all%  (paper)",
+    );
+    let n = a.instructions.max(1) as f64;
+    let mut tot_exec = 0u64;
+    let mut tot_taken = 0u64;
+    for (i, k) in BranchKind::TABLE2_ROWS.iter().enumerate() {
+        let execd = a.m.cpu_stats.branch_executed_of(*k);
+        let taken = a.m.cpu_stats.branch_taken_of(*k);
+        tot_exec += execd;
+        tot_taken += taken;
+        let (p_exec, p_taken, p_all) = paper::TABLE2[i];
+        let _ = writeln!(
+            out,
+            "{:<30} {:>7.1} {:>9.1} {:>7.1} {:>8.1} {:>9.1} {:>9.1}",
+            k.name(),
+            100.0 * execd as f64 / n,
+            p_exec,
+            if execd > 0 {
+                100.0 * taken as f64 / execd as f64
+            } else {
+                0.0
+            },
+            p_taken,
+            100.0 * taken as f64 / n,
+            p_all,
+        );
+    }
+    let (p_exec, p_taken, p_all) = paper::TABLE2_TOTAL;
+    let _ = writeln!(
+        out,
+        "{:<30} {:>7.1} {:>9.1} {:>7.1} {:>8.1} {:>9.1} {:>9.1}",
+        "TOTAL",
+        100.0 * tot_exec as f64 / n,
+        p_exec,
+        if tot_exec > 0 {
+            100.0 * tot_taken as f64 / tot_exec as f64
+        } else {
+            0.0
+        },
+        p_taken,
+        100.0 * tot_taken as f64 / n,
+        p_all,
+    );
+    out
+}
+
+/// Table 3: specifiers and branch displacements per instruction.
+pub fn table3(a: &Analysis) -> String {
+    let mut out = String::new();
+    let n = a.instructions.max(1) as f64;
+    line(&mut out, "Table 3 — Specifiers per Average Instruction");
+    let rows = [
+        ("First specifiers", a.spec1.total() as f64 / n, paper::TABLE3_SPEC1),
+        ("Other specifiers", a.spec26.total() as f64 / n, paper::TABLE3_SPEC26),
+        (
+            "Branch displacements",
+            a.m.cpu_stats.branch_disps as f64 / n,
+            paper::TABLE3_BDISP,
+        ),
+    ];
+    line(&mut out, "item                   measured   paper");
+    for (name, v, p) in rows {
+        let _ = writeln!(out, "{name:<22} {v:>8.3} {p:>7.3}");
+    }
+    out
+}
+
+/// Table 4: operand specifier mode distribution.
+pub fn table4(a: &Analysis) -> String {
+    let mut out = String::new();
+    line(&mut out, "Table 4 — Operand Specifier Distribution (percent)");
+    line(&mut out, "mode                    SPEC1  SPEC2-6    total    (paper total where legible)");
+    let t1 = a.spec1.total().max(1) as f64;
+    let t2 = a.spec26.total().max(1) as f64;
+    let tt = (a.spec1.total() + a.spec26.total()).max(1) as f64;
+    let pct = |c1: u64, c2: u64| {
+        (
+            100.0 * c1 as f64 / t1,
+            100.0 * c2 as f64 / t2,
+            100.0 * (c1 + c2) as f64 / tt,
+        )
+    };
+    // Group displacement modes together for comparability.
+    let mode_idx = |m: AddressingMode| AddressingMode::ALL.iter().position(|x| *x == m).unwrap();
+    let read = |m: AddressingMode, s: &crate::analysis::SpecModeCounts| s.by_mode[mode_idx(m)];
+    let disp_sum = |s: &crate::analysis::SpecModeCounts| {
+        read(AddressingMode::ByteDisp, s)
+            + read(AddressingMode::WordDisp, s)
+            + read(AddressingMode::LongDisp, s)
+    };
+    let rows: Vec<(&str, u64, u64, Option<f64>)> = vec![
+        (
+            "Register",
+            read(AddressingMode::Register, &a.spec1),
+            read(AddressingMode::Register, &a.spec26),
+            Some(paper::TABLE4_REGISTER.2),
+        ),
+        (
+            "Short literal",
+            read(AddressingMode::Literal, &a.spec1),
+            read(AddressingMode::Literal, &a.spec26),
+            Some(paper::TABLE4_LITERAL.2),
+        ),
+        (
+            "Immediate",
+            read(AddressingMode::Immediate, &a.spec1),
+            read(AddressingMode::Immediate, &a.spec26),
+            Some(paper::TABLE4_IMMEDIATE.2),
+        ),
+        (
+            "Displacement",
+            disp_sum(&a.spec1),
+            disp_sum(&a.spec26),
+            None,
+        ),
+        (
+            "Register deferred",
+            read(AddressingMode::RegisterDeferred, &a.spec1),
+            read(AddressingMode::RegisterDeferred, &a.spec26),
+            None,
+        ),
+        (
+            "Autoincrement",
+            read(AddressingMode::Autoincrement, &a.spec1),
+            read(AddressingMode::Autoincrement, &a.spec26),
+            None,
+        ),
+        (
+            "Autodecrement",
+            read(AddressingMode::Autodecrement, &a.spec1),
+            read(AddressingMode::Autodecrement, &a.spec26),
+            None,
+        ),
+        (
+            "Disp. deferred",
+            read(AddressingMode::ByteDispDeferred, &a.spec1)
+                + read(AddressingMode::WordDispDeferred, &a.spec1)
+                + read(AddressingMode::LongDispDeferred, &a.spec1),
+            read(AddressingMode::ByteDispDeferred, &a.spec26)
+                + read(AddressingMode::WordDispDeferred, &a.spec26)
+                + read(AddressingMode::LongDispDeferred, &a.spec26),
+            None,
+        ),
+        (
+            "Absolute",
+            read(AddressingMode::Absolute, &a.spec1),
+            read(AddressingMode::Absolute, &a.spec26),
+            None,
+        ),
+    ];
+    for (name, c1, c2, paper_total) in rows {
+        let (p1, p2, pt) = pct(c1, c2);
+        match paper_total {
+            Some(pp) => {
+                let _ = writeln!(out, "{name:<22} {p1:>6.1} {p2:>8.1} {pt:>8.1}    {pp:>5.1}");
+            }
+            None => {
+                let _ = writeln!(out, "{name:<22} {p1:>6.1} {p2:>8.1} {pt:>8.1}      (—)");
+            }
+        }
+    }
+    let ix = (
+        100.0 * a.spec1.indexed as f64 / t1,
+        100.0 * a.spec26.indexed as f64 / t2,
+        100.0 * (a.spec1.indexed + a.spec26.indexed) as f64 / tt,
+    );
+    let _ = writeln!(
+        out,
+        "{:<22} {:>6.1} {:>8.1} {:>8.1}    {:>5.1}",
+        "Percent indexed",
+        ix.0,
+        ix.1,
+        ix.2,
+        paper::TABLE4_INDEXED.2
+    );
+    out
+}
+
+/// Table 5: D-stream reads and writes per instruction, by source row.
+pub fn table5(a: &Analysis) -> String {
+    let mut out = String::new();
+    line(&mut out, "Table 5 — D-stream Reads and Writes per Instruction");
+    line(&mut out, "source          reads   writes");
+    let rows = [
+        ("Spec1", Activity::Spec1),
+        ("Spec2-6", Activity::Spec26),
+        ("Simple", Activity::ExecSimple),
+        ("Field", Activity::ExecField),
+        ("Float", Activity::ExecFloat),
+        ("Call/Ret", Activity::ExecCallRet),
+        ("System", Activity::ExecSystem),
+        ("Character", Activity::ExecCharacter),
+        ("Decimal", Activity::ExecDecimal),
+    ];
+    let mut reads = 0.0;
+    let mut writes = 0.0;
+    for (name, act) in rows {
+        let r = a.cell(act, CycleClass::Read);
+        let w = a.cell(act, CycleClass::Write);
+        reads += r;
+        writes += w;
+        let _ = writeln!(out, "{name:<14} {r:>6.3} {w:>8.3}");
+    }
+    // "Other": decode/bdisp/interrupt/memory-management rows.
+    let other_rows = [
+        Activity::Decode,
+        Activity::BDisp,
+        Activity::IntExcept,
+        Activity::MemMgmt,
+        Activity::Abort,
+    ];
+    let or: f64 = other_rows.iter().map(|&x| a.cell(x, CycleClass::Read)).sum();
+    let ow: f64 = other_rows.iter().map(|&x| a.cell(x, CycleClass::Write)).sum();
+    reads += or;
+    writes += ow;
+    let _ = writeln!(out, "{:<14} {or:>6.3} {ow:>8.3}", "Other");
+    let _ = writeln!(
+        out,
+        "{:<14} {reads:>6.3} {writes:>8.3}   (paper: {:.3} / {:.3})",
+        "TOTAL",
+        paper::TABLE5_READS_TOTAL,
+        paper::TABLE5_WRITES_TOTAL
+    );
+    let n = a.instructions.max(1) as f64;
+    let _ = writeln!(
+        out,
+        "Unaligned refs/instr: {:.4}   (paper: {:.3})",
+        a.m.mem_stats.unaligned_refs as f64 / n,
+        paper::UNALIGNED_PER_INSTR
+    );
+    out
+}
+
+/// Table 6: average instruction size.
+pub fn table6(a: &Analysis) -> String {
+    let mut out = String::new();
+    line(&mut out, "Table 6 — Estimated Size of Average Instruction");
+    let n = a.instructions.max(1) as f64;
+    let avg = a.m.cpu_stats.avg_instruction_bytes();
+    let specs = (a.spec1.total() + a.spec26.total()) as f64 / n;
+    let bdisp = a.m.cpu_stats.branch_disps as f64 / n;
+    let spec_bytes = (avg - 1.0 - bdisp * 1.1).max(0.0) / specs.max(1e-9);
+    let _ = writeln!(out, "specifiers/instr {specs:.2}, avg specifier size {spec_bytes:.2} B (paper {:.2} B)", paper::TABLE6_AVG_SPEC_BYTES);
+    let _ = writeln!(
+        out,
+        "average instruction size: {avg:.2} bytes   (paper: {:.1})",
+        paper::TABLE6_AVG_INSTR_BYTES
+    );
+    out
+}
+
+/// Table 7: interrupt and context-switch headway.
+pub fn table7(a: &Analysis) -> String {
+    let mut out = String::new();
+    line(&mut out, "Table 7 — Interrupt and Context-Switch Headway (instructions)");
+    let rows = [
+        (
+            "Software interrupt requests",
+            a.headway(a.m.cpu_stats.sw_interrupt_requests),
+            paper::TABLE7_SOFT_REQ_HEADWAY,
+        ),
+        (
+            "HW and SW interrupts",
+            a.headway(a.m.cpu_stats.total_interrupts()),
+            paper::TABLE7_INTERRUPT_HEADWAY,
+        ),
+        (
+            "Context switches",
+            a.headway(a.m.cpu_stats.context_switches),
+            paper::TABLE7_CONTEXT_SWITCH_HEADWAY,
+        ),
+    ];
+    for (name, v, p) in rows {
+        match v {
+            Some(v) => {
+                let _ = writeln!(out, "{name:<28} {v:>8.0} {p:>8.0}");
+            }
+            None => {
+                let _ = writeln!(out, "{name:<28} {:>8} {p:>8.0}", "—");
+            }
+        }
+    }
+    out
+}
+
+/// §4 implementation events.
+pub fn events(a: &Analysis) -> String {
+    let mut out = String::new();
+    line(&mut out, "§4 — Implementation Events (per instruction)");
+    let n = a.instructions.max(1) as f64;
+    let ms = &a.m.mem_stats;
+    let ib_refs = ms.i_reads as f64 / n;
+    let avg_bytes = a.m.cpu_stats.avg_instruction_bytes();
+    let rows = [
+        ("IB refs/instr", ib_refs, paper::IB_REFS_PER_INSTR),
+        (
+            "IB bytes/ref",
+            if ib_refs > 0.0 { avg_bytes / ib_refs } else { 0.0 },
+            paper::IB_BYTES_PER_REF,
+        ),
+        (
+            "Cache read misses (total)",
+            ms.total_read_misses() as f64 / n,
+            paper::CACHE_MISSES_PER_INSTR.0,
+        ),
+        (
+            "  I-stream",
+            ms.i_read_misses as f64 / n,
+            paper::CACHE_MISSES_PER_INSTR.1,
+        ),
+        (
+            "  D-stream",
+            (ms.d_read_misses + ms.pte_read_misses) as f64 / n,
+            paper::CACHE_MISSES_PER_INSTR.2,
+        ),
+        (
+            "TB misses (total)",
+            ms.total_tb_misses() as f64 / n,
+            paper::TB_MISSES_PER_INSTR.0,
+        ),
+        (
+            "  D-stream",
+            ms.tb_miss_d as f64 / n,
+            paper::TB_MISSES_PER_INSTR.1,
+        ),
+        (
+            "  I-stream",
+            ms.tb_miss_i as f64 / n,
+            paper::TB_MISSES_PER_INSTR.2,
+        ),
+        (
+            "TB miss service cycles",
+            if ms.total_tb_misses() > 0 {
+                a.tb_miss_cycles as f64 / ms.total_tb_misses() as f64
+            } else {
+                0.0
+            },
+            paper::TB_MISS_SERVICE_CYCLES,
+        ),
+    ];
+    line(&mut out, "event                        measured    paper");
+    for (name, v, p) in rows {
+        let _ = writeln!(out, "{name:<28} {v:>8.3} {p:>8.3}");
+    }
+    out
+}
+
+/// Table 8: the full time decomposition.
+pub fn table8(a: &Analysis) -> String {
+    let mut out = String::new();
+    line(&mut out, "Table 8 — Average VAX Instruction Timing (cycles per instruction)");
+    line(
+        &mut out,
+        "row          Compute     Read  R-Stall    Write  W-Stall IB-Stall    Total  (paper)",
+    );
+    for (i, act) in Activity::ALL.iter().enumerate() {
+        let _ = write!(out, "{:<12}", act.name());
+        for class in CycleClass::ALL {
+            let _ = write!(out, " {:>8.3}", a.cell(*act, class));
+        }
+        let _ = writeln!(
+            out,
+            " {:>8.3} {:>8.3}",
+            a.row_total(*act),
+            paper::TABLE8_ROW_TOTALS[i]
+        );
+    }
+    let _ = write!(out, "{:<12}", "TOTAL");
+    for class in CycleClass::ALL {
+        let _ = write!(out, " {:>8.3}", a.col_total(class));
+    }
+    let _ = writeln!(out, " {:>8.3} {:>8.3}", a.cpi(), paper::TABLE8_CPI);
+    let _ = write!(out, "{:<12}", "(paper)");
+    for p in paper::TABLE8_COLUMN_TOTALS {
+        let _ = write!(out, " {p:>8.3}");
+    }
+    let _ = writeln!(out, " {:>8.3}", paper::TABLE8_CPI);
+    out
+}
+
+/// Table 9: cycles per instruction within each group.
+pub fn table9(a: &Analysis) -> String {
+    let mut out = String::new();
+    line(&mut out, "Table 9 — Cycles per Instruction Within Each Group (execute phase)");
+    line(
+        &mut out,
+        "group        Compute     Read  R-Stall    Write  W-Stall    Total  (paper)",
+    );
+    let groups = a.group_percent();
+    for (i, g) in OpcodeGroup::ALL.iter().enumerate() {
+        let freq = groups[i] / 100.0;
+        if freq <= 0.0 {
+            let _ = writeln!(out, "{:<12} (group did not occur)", g.name());
+            continue;
+        }
+        let act = Analysis::group_activity(*g);
+        let _ = write!(out, "{:<12}", g.name());
+        let mut total = 0.0;
+        for class in [
+            CycleClass::Compute,
+            CycleClass::Read,
+            CycleClass::ReadStall,
+            CycleClass::Write,
+            CycleClass::WriteStall,
+        ] {
+            let v = a.cell(act, class) / freq;
+            total += v;
+            let _ = write!(out, " {v:>8.2}");
+        }
+        let _ = writeln!(out, " {:>8.2} {:>8.2}", total, paper::TABLE9_GROUP_TOTALS[i]);
+    }
+    out
+}
+
+/// Render every table and the §4 events in paper order.
+pub fn print_all_tables(a: &Analysis) -> String {
+    let mut out = String::new();
+    for part in [
+        table1(a),
+        table2(a),
+        table3(a),
+        table4(a),
+        table5(a),
+        table6(a),
+        table7(a),
+        events(a),
+        table8(a),
+        table9(a),
+    ] {
+        out.push_str(&part);
+        out.push('\n');
+    }
+    let _ = writeln!(
+        out,
+        "Instructions: {}   Cycles: {}   CPI: {:.2} (paper {:.2})",
+        a.instructions,
+        a.cycles,
+        a.cpi(),
+        paper::TABLE8_CPI
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vax780::{ProcessSpec, SystemBuilder, SystemConfig};
+    use vax_arch::{Opcode, Reg};
+    use vax_asm::{Asm, Operand};
+
+    #[test]
+    fn renders_all_tables() {
+        let mut asm = Asm::new(0x200);
+        asm.label("entry");
+        asm.label("loop");
+        asm.insn(
+            Opcode::Addl2,
+            &[Operand::Lit(1), Operand::Reg(Reg::new(3))],
+            None,
+        );
+        asm.insn(Opcode::Brb, &[], Some("loop"));
+        let mut b = SystemBuilder::new(SystemConfig::default());
+        b.add_process(ProcessSpec::new(asm.assemble().unwrap(), "entry"));
+        let mut sys = b.build();
+        let m = sys.measure(500, 5_000);
+        let a = Analysis::new(&sys.cpu.cs, &m);
+        let text = print_all_tables(&a);
+        assert!(text.contains("Table 1"));
+        assert!(text.contains("Table 8"));
+        assert!(text.contains("TOTAL"));
+        assert!(text.contains("CPI"));
+    }
+}

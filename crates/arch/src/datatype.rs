@@ -1,0 +1,186 @@
+//! VAX data types and operand access types.
+//!
+//! Every operand specifier of a VAX instruction has a *data type* (how many
+//! bytes it names) and an *access type* (what the instruction does with it),
+//! both defined by the opcode. These drive instruction-stream size accounting
+//! (paper Table 6) and read/write frequency accounting (paper Table 5).
+
+use std::fmt;
+
+/// The data type of an instruction operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DataType {
+    /// 8-bit integer.
+    Byte,
+    /// 16-bit integer.
+    Word,
+    /// 32-bit integer (the natural VAX unit).
+    Long,
+    /// 64-bit integer.
+    Quad,
+    /// 32-bit F_floating.
+    FFloat,
+    /// 64-bit D_floating.
+    DFloat,
+}
+
+impl DataType {
+    /// Size of the type in bytes.
+    ///
+    /// ```
+    /// use vax_arch::DataType;
+    /// assert_eq!(DataType::Long.size(), 4);
+    /// assert_eq!(DataType::DFloat.size(), 8);
+    /// ```
+    pub const fn size(self) -> u32 {
+        match self {
+            DataType::Byte => 1,
+            DataType::Word => 2,
+            DataType::Long | DataType::FFloat => 4,
+            DataType::Quad | DataType::DFloat => 8,
+        }
+    }
+
+    /// Number of aligned-longword memory references needed to move a datum of
+    /// this type (the 780 datapath is 32 bits wide; quad/D-float take two).
+    pub const fn longwords(self) -> u32 {
+        match self.size() {
+            1 | 2 | 4 => 1,
+            _ => 2,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Byte => "byte",
+            DataType::Word => "word",
+            DataType::Long => "long",
+            DataType::Quad => "quad",
+            DataType::FFloat => "f_float",
+            DataType::DFloat => "d_float",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What an instruction does with an operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessType {
+    /// Operand is read.
+    Read,
+    /// Operand is written.
+    Write,
+    /// Operand is read then written (modify).
+    Modify,
+    /// The *address* of the operand is computed but the data is not
+    /// touched by specifier microcode (e.g. `MOVAL`, string base addresses).
+    Address,
+    /// A variable-length bit field base (FIELD group); address calculation
+    /// only, the field data is handled by execute microcode.
+    Field,
+}
+
+/// The full operand signature element: access plus data type, or a branch
+/// displacement of a given width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OperandKind {
+    /// General operand specifier with access and data type.
+    Spec(AccessType, DataType),
+    /// A PC-relative branch displacement embedded in the instruction stream
+    /// (1 or 2 bytes). Not an operand specifier (paper Table 3 counts these
+    /// separately).
+    Branch(BranchWidth),
+}
+
+/// Width of an embedded branch displacement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchWidth {
+    /// Signed 8-bit displacement.
+    Byte,
+    /// Signed 16-bit displacement.
+    Word,
+}
+
+impl BranchWidth {
+    /// Size in bytes of the displacement in the instruction stream.
+    pub const fn size(self) -> u32 {
+        match self {
+            BranchWidth::Byte => 1,
+            BranchWidth::Word => 2,
+        }
+    }
+}
+
+impl OperandKind {
+    /// Convenience constructor: read operand.
+    pub const fn r(dt: DataType) -> Self {
+        OperandKind::Spec(AccessType::Read, dt)
+    }
+    /// Convenience constructor: write operand.
+    pub const fn w(dt: DataType) -> Self {
+        OperandKind::Spec(AccessType::Write, dt)
+    }
+    /// Convenience constructor: modify operand.
+    pub const fn m(dt: DataType) -> Self {
+        OperandKind::Spec(AccessType::Modify, dt)
+    }
+    /// Convenience constructor: address operand.
+    pub const fn a(dt: DataType) -> Self {
+        OperandKind::Spec(AccessType::Address, dt)
+    }
+    /// Convenience constructor: bit-field base operand.
+    pub const fn v(dt: DataType) -> Self {
+        OperandKind::Spec(AccessType::Field, dt)
+    }
+    /// Convenience constructor: byte branch displacement.
+    pub const fn bb() -> Self {
+        OperandKind::Branch(BranchWidth::Byte)
+    }
+    /// Convenience constructor: word branch displacement.
+    pub const fn bw() -> Self {
+        OperandKind::Branch(BranchWidth::Word)
+    }
+
+    /// True if this operand is an embedded branch displacement.
+    pub const fn is_branch_disp(self) -> bool {
+        matches!(self, OperandKind::Branch(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(DataType::Byte.size(), 1);
+        assert_eq!(DataType::Word.size(), 2);
+        assert_eq!(DataType::Long.size(), 4);
+        assert_eq!(DataType::Quad.size(), 8);
+        assert_eq!(DataType::FFloat.size(), 4);
+        assert_eq!(DataType::DFloat.size(), 8);
+    }
+
+    #[test]
+    fn longword_counts() {
+        assert_eq!(DataType::Byte.longwords(), 1);
+        assert_eq!(DataType::Long.longwords(), 1);
+        assert_eq!(DataType::Quad.longwords(), 2);
+        assert_eq!(DataType::DFloat.longwords(), 2);
+    }
+
+    #[test]
+    fn branch_widths() {
+        assert_eq!(BranchWidth::Byte.size(), 1);
+        assert_eq!(BranchWidth::Word.size(), 2);
+        assert!(OperandKind::bb().is_branch_disp());
+        assert!(!OperandKind::r(DataType::Long).is_branch_disp());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(DataType::FFloat.to_string(), "f_float");
+    }
+}

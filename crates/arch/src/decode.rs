@@ -1,0 +1,251 @@
+//! Instruction decoder: parses VAX machine code into [`Instruction`]s.
+
+use crate::datatype::{BranchWidth, OperandKind};
+use crate::insn::Instruction;
+use crate::mode::AddressingMode;
+use crate::opcode::Opcode;
+use crate::regs::Reg;
+use crate::specifier::Specifier;
+use std::fmt;
+
+/// Errors produced while decoding an instruction stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The opcode byte is not an opcode this crate defines.
+    UnknownOpcode(u8),
+    /// The byte stream ended inside an instruction.
+    Truncated,
+    /// A specifier byte is illegal in context (e.g. register mode with PC,
+    /// double index prefix, index on a literal).
+    IllegalSpecifier(u8),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnknownOpcode(b) => write!(f, "unknown opcode byte {b:#04x}"),
+            DecodeError::Truncated => f.write_str("instruction stream truncated"),
+            DecodeError::IllegalSpecifier(b) => {
+                write!(f, "illegal operand specifier byte {b:#04x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        let b = *self.bytes.get(self.pos).ok_or(DecodeError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn i8(&mut self) -> Result<i32, DecodeError> {
+        Ok(self.u8()? as i8 as i32)
+    }
+
+    fn i16(&mut self) -> Result<i32, DecodeError> {
+        let b = self.bytes(2)?;
+        Ok(i16::from_le_bytes([b[0], b[1]]) as i32)
+    }
+
+    fn i32(&mut self) -> Result<i32, DecodeError> {
+        let b = self.bytes(4)?;
+        Ok(i32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+}
+
+/// Decode one instruction from the front of `bytes`.
+///
+/// # Errors
+/// Returns [`DecodeError`] if the opcode is unknown, the stream is truncated,
+/// or a specifier is architecturally illegal.
+///
+/// ```
+/// use vax_arch::{decode, Opcode};
+/// let insn = decode(&[0xD0, 0x51, 0x52]).unwrap(); // MOVL R1, R2
+/// assert_eq!(insn.opcode, Opcode::Movl);
+/// ```
+pub fn decode(bytes: &[u8]) -> Result<Instruction, DecodeError> {
+    let mut cur = Cursor { bytes, pos: 0 };
+    let op_byte = cur.u8()?;
+    let opcode = Opcode::from_byte(op_byte).ok_or(DecodeError::UnknownOpcode(op_byte))?;
+    let mut specifiers = Vec::with_capacity(opcode.specifier_count());
+    let mut branch_disp = None;
+    for op in opcode.operands() {
+        match op {
+            OperandKind::Spec(_, dt) => {
+                specifiers.push(decode_specifier(&mut cur, dt.size())?);
+            }
+            OperandKind::Branch(BranchWidth::Byte) => branch_disp = Some(cur.i8()?),
+            OperandKind::Branch(BranchWidth::Word) => branch_disp = Some(cur.i16()?),
+        }
+    }
+    Ok(Instruction {
+        opcode,
+        specifiers,
+        branch_disp,
+        len: cur.pos as u32,
+    })
+}
+
+fn decode_specifier(cur: &mut Cursor<'_>, operand_size: u32) -> Result<Specifier, DecodeError> {
+    let mut byte = cur.u8()?;
+    let mut index = None;
+    if byte >> 4 == 4 {
+        // Index prefix. The base specifier follows; PC may not index.
+        let ix = byte & 0x0F;
+        if ix == 15 {
+            return Err(DecodeError::IllegalSpecifier(byte));
+        }
+        index = Some(Reg::new(ix));
+        byte = cur.u8()?;
+        // Base may not be literal, register, immediate, or another index.
+        if byte >> 4 <= 5 || byte == 0x8F {
+            return Err(DecodeError::IllegalSpecifier(byte));
+        }
+    }
+    let mode = crate::mode::mode_of_byte(byte).ok_or(DecodeError::IllegalSpecifier(byte))?;
+    // Literal mode has no register field — the low bits are literal value.
+    let reg = if mode == AddressingMode::Literal {
+        Reg::new(0)
+    } else {
+        Reg::new(byte & 0x0F)
+    };
+    let value: i64 = match mode {
+        AddressingMode::Literal => (byte & 0x3F) as i64,
+        AddressingMode::Register
+        | AddressingMode::RegisterDeferred
+        | AddressingMode::Autodecrement
+        | AddressingMode::Autoincrement
+        | AddressingMode::AutoincrementDeferred => 0,
+        AddressingMode::ByteDisp | AddressingMode::ByteDispDeferred => cur.i8()? as i64,
+        AddressingMode::WordDisp | AddressingMode::WordDispDeferred => cur.i16()? as i64,
+        AddressingMode::LongDisp | AddressingMode::LongDispDeferred => cur.i32()? as i64,
+        AddressingMode::Immediate => {
+            let raw = cur.bytes(operand_size as usize)?;
+            let mut buf = [0u8; 8];
+            buf[..raw.len()].copy_from_slice(raw);
+            u64::from_le_bytes(buf) as i64
+        }
+        AddressingMode::Absolute => cur.i32()? as u32 as i64,
+        AddressingMode::PcRelative | AddressingMode::PcRelativeDeferred => match byte >> 4 {
+            0xA | 0xB => cur.i8()? as i64,
+            0xC | 0xD => cur.i16()? as i64,
+            _ => cur.i32()? as i64,
+        },
+    };
+    Ok(Specifier {
+        mode,
+        reg,
+        value,
+        index,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+
+    #[test]
+    fn decode_movl() {
+        let insn = decode(&[0xD0, 0x51, 0x52]).unwrap();
+        assert_eq!(insn.opcode, Opcode::Movl);
+        assert_eq!(insn.specifiers.len(), 2);
+        assert_eq!(insn.specifiers[0], Specifier::register(Reg::new(1)));
+        assert_eq!(insn.len, 3);
+    }
+
+    #[test]
+    fn decode_branch() {
+        let insn = decode(&[0x12, 0xFA]).unwrap();
+        assert_eq!(insn.opcode, Opcode::Bneq);
+        assert_eq!(insn.branch_disp, Some(-6));
+    }
+
+    #[test]
+    fn decode_indexed() {
+        let insn = decode(&[0xD0, 0x44, 0x61, 0x50]).unwrap();
+        assert_eq!(insn.specifiers[0].index, Some(Reg::new(4)));
+        assert_eq!(insn.specifiers[0].mode, AddressingMode::RegisterDeferred);
+    }
+
+    #[test]
+    fn decode_immediate_quad() {
+        // MOVQ #imm, R2 consumes 8 bytes of immediate.
+        let mut bytes = vec![0x7D, 0x8F];
+        bytes.extend_from_slice(&0x0123_4567_89AB_CDEFu64.to_le_bytes());
+        bytes.push(0x52);
+        let insn = decode(&bytes).unwrap();
+        assert_eq!(insn.opcode, Opcode::Movq);
+        assert_eq!(insn.len, bytes.len() as u32);
+        assert_eq!(insn.specifiers[0].value, 0x0123_4567_89AB_CDEFu64 as i64);
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(decode(&[]), Err(DecodeError::Truncated));
+        assert_eq!(decode(&[0xFD]), Err(DecodeError::UnknownOpcode(0xFD)));
+        assert_eq!(decode(&[0xD0, 0x51]), Err(DecodeError::Truncated));
+        // register mode with PC
+        assert_eq!(decode(&[0xD0, 0x5F, 0x50]), Err(DecodeError::IllegalSpecifier(0x5F)));
+        // double index
+        assert_eq!(decode(&[0xD0, 0x41, 0x42, 0x50]), Err(DecodeError::IllegalSpecifier(0x42)));
+        // index on register mode
+        assert_eq!(decode(&[0xD0, 0x41, 0x52, 0x50]), Err(DecodeError::IllegalSpecifier(0x52)));
+        // PC as index register
+        assert_eq!(decode(&[0xD0, 0x4F, 0x61, 0x50]), Err(DecodeError::IllegalSpecifier(0x4F)));
+    }
+
+    #[test]
+    fn roundtrip_various() {
+        let cases = vec![
+            Instruction::new(
+                Opcode::Addl3,
+                vec![
+                    Specifier::literal(5),
+                    Specifier::displacement(-100, Reg::new(3)),
+                    Specifier::register(Reg::new(0)),
+                ],
+                None,
+            ),
+            Instruction::new(
+                Opcode::Calls,
+                vec![Specifier::literal(2), Specifier::displacement(0x4000, Reg::new(9))],
+                None,
+            ),
+            Instruction::new(Opcode::Sobgtr, vec![Specifier::register(Reg::new(6))], Some(-12)),
+            Instruction::new(
+                Opcode::Movc3,
+                vec![
+                    Specifier::literal(36),
+                    Specifier::deferred(Reg::new(1)),
+                    Specifier::deferred(Reg::new(2)),
+                ],
+                None,
+            ),
+            Instruction::new(Opcode::Ret, vec![], None),
+        ];
+        for insn in cases {
+            let bytes = encode(&insn);
+            let decoded = decode(&bytes).unwrap();
+            assert_eq!(decoded, insn, "roundtrip failed for {insn}");
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Opcode grouping and PC-changing classification.
+//!
+//! [`OpcodeGroup`] is the seven-way partition of the paper's Table 1;
+//! [`BranchKind`] is the nine-way partition of PC-changing instructions in
+//! Table 2.
+
+use std::fmt;
+
+/// The instruction groups of paper Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpcodeGroup {
+    /// Moves, simple arithmetic/boolean ops, simple and loop branches,
+    /// subroutine call and return.
+    Simple,
+    /// Bit-field operations (and bit branches).
+    Field,
+    /// Floating point and integer multiply/divide.
+    Float,
+    /// Procedure call/return and multi-register push/pop.
+    CallRet,
+    /// Privileged operations, context switches, system service requests,
+    /// queue manipulation, protection probes.
+    System,
+    /// Character-string instructions.
+    Character,
+    /// Packed-decimal instructions.
+    Decimal,
+}
+
+impl OpcodeGroup {
+    /// All groups in Table 1 order.
+    pub const ALL: [OpcodeGroup; 7] = [
+        OpcodeGroup::Simple,
+        OpcodeGroup::Field,
+        OpcodeGroup::Float,
+        OpcodeGroup::CallRet,
+        OpcodeGroup::System,
+        OpcodeGroup::Character,
+        OpcodeGroup::Decimal,
+    ];
+
+    /// Table-1 style display name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            OpcodeGroup::Simple => "SIMPLE",
+            OpcodeGroup::Field => "FIELD",
+            OpcodeGroup::Float => "FLOAT",
+            OpcodeGroup::CallRet => "CALL/RET",
+            OpcodeGroup::System => "SYSTEM",
+            OpcodeGroup::Character => "CHARACTER",
+            OpcodeGroup::Decimal => "DECIMAL",
+        }
+    }
+
+    /// Stable dense index (Table 1 order) for array-indexed statistics.
+    pub const fn index(self) -> usize {
+        match self {
+            OpcodeGroup::Simple => 0,
+            OpcodeGroup::Field => 1,
+            OpcodeGroup::Float => 2,
+            OpcodeGroup::CallRet => 3,
+            OpcodeGroup::System => 4,
+            OpcodeGroup::Character => 5,
+            OpcodeGroup::Decimal => 6,
+        }
+    }
+}
+
+impl fmt::Display for OpcodeGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The PC-changing instruction classes of paper Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BranchKind {
+    /// Not a PC-changing instruction.
+    None,
+    /// Simple conditional branches, plus BRB/BRW (grouped by microcode
+    /// sharing, as in the paper).
+    SimpleCond,
+    /// Loop branches: SOB/AOB/ACB.
+    Loop,
+    /// Low-bit tests: BLBS/BLBC.
+    LowBit,
+    /// Subroutine call and return: BSB/JSB/RSB.
+    Subroutine,
+    /// Unconditional JMP.
+    Unconditional,
+    /// Case branches: CASEB/W/L.
+    Case,
+    /// Bit branches: BBS/BBC and set/clear variants.
+    BitBranch,
+    /// Procedure call and return: CALLG/CALLS/RET.
+    ProcCall,
+    /// System branches: CHMx/REI.
+    SystemBranch,
+}
+
+impl BranchKind {
+    /// The PC-changing classes in Table 2 row order.
+    pub const TABLE2_ROWS: [BranchKind; 9] = [
+        BranchKind::SimpleCond,
+        BranchKind::Loop,
+        BranchKind::LowBit,
+        BranchKind::Subroutine,
+        BranchKind::Unconditional,
+        BranchKind::Case,
+        BranchKind::BitBranch,
+        BranchKind::ProcCall,
+        BranchKind::SystemBranch,
+    ];
+
+    /// Table-2 style row label.
+    pub const fn name(self) -> &'static str {
+        match self {
+            BranchKind::None => "(not PC-changing)",
+            BranchKind::SimpleCond => "Simple cond., plus BRB, BRW",
+            BranchKind::Loop => "Loop branches",
+            BranchKind::LowBit => "Low-bit tests",
+            BranchKind::Subroutine => "Subroutine call and return",
+            BranchKind::Unconditional => "Unconditional (JMP)",
+            BranchKind::Case => "Case branch (CASEx)",
+            BranchKind::BitBranch => "Bit branches",
+            BranchKind::ProcCall => "Procedure call and return",
+            BranchKind::SystemBranch => "System branches (CHMx, REI)",
+        }
+    }
+
+    /// True if this instruction class *always* changes the PC when executed
+    /// (taken rate 100% in Table 2).
+    pub const fn always_taken(self) -> bool {
+        matches!(
+            self,
+            BranchKind::Subroutine
+                | BranchKind::Unconditional
+                | BranchKind::Case
+                | BranchKind::ProcCall
+                | BranchKind::SystemBranch
+        )
+    }
+
+    /// True for any PC-changing class.
+    pub const fn is_pc_changing(self) -> bool {
+        !matches!(self, BranchKind::None)
+    }
+}
+
+impl fmt::Display for BranchKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_indices_are_dense_and_ordered() {
+        for (i, g) in OpcodeGroup::ALL.iter().enumerate() {
+            assert_eq!(g.index(), i);
+        }
+    }
+
+    #[test]
+    fn always_taken_classes() {
+        assert!(BranchKind::ProcCall.always_taken());
+        assert!(BranchKind::Case.always_taken());
+        assert!(!BranchKind::SimpleCond.always_taken());
+        assert!(!BranchKind::Loop.always_taken());
+    }
+
+    #[test]
+    fn pc_changing() {
+        assert!(!BranchKind::None.is_pc_changing());
+        for k in BranchKind::TABLE2_ROWS {
+            assert!(k.is_pc_changing());
+        }
+    }
+
+    #[test]
+    fn names_nonempty() {
+        for g in OpcodeGroup::ALL {
+            assert!(!g.name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! # vax-arch
+//!
+//! Definitions of the VAX instruction-set architecture as needed to reproduce
+//! Emer & Clark, *A Characterization of Processor Performance in the
+//! VAX-11/780* (ISCA 1984).
+//!
+//! This crate is the architectural substrate of the reproduction: it knows
+//! what a VAX instruction *is* — opcodes and their operand signatures,
+//! operand-specifier addressing modes, data types, the register file and the
+//! processor status longword — and how instructions are encoded into and
+//! decoded from the instruction stream. It deliberately knows nothing about
+//! *time*; timing is the business of the `vax-cpu` crate.
+//!
+//! The opcode inventory covers every instruction group the paper's Table 1
+//! reports (SIMPLE, FIELD, FLOAT, CALL/RET, SYSTEM, CHARACTER, DECIMAL) with
+//! the real VAX opcode byte values, so that generated workloads are genuine
+//! VAX machine code.
+//!
+//! ## Example
+//!
+//! ```
+//! use vax_arch::{decode, Opcode};
+//!
+//! // MOVL R1, R2  ==  D0 51 52
+//! let bytes = [0xD0, 0x51, 0x52];
+//! let insn = decode(&bytes).unwrap();
+//! assert_eq!(insn.opcode, Opcode::Movl);
+//! assert_eq!(insn.len, 3);
+//! ```
+
+pub mod datatype;
+pub mod decode;
+pub mod encode;
+pub mod group;
+pub mod insn;
+pub mod mode;
+pub mod opcode;
+pub mod psl;
+pub mod regs;
+pub mod specifier;
+
+pub use datatype::{AccessType, DataType, OperandKind};
+pub use decode::{decode, DecodeError};
+pub use encode::encode;
+pub use group::{BranchKind, OpcodeGroup};
+pub use insn::Instruction;
+pub use mode::AddressingMode;
+pub use opcode::{Opcode, OpcodeInfo};
+pub use psl::Psl;
+pub use regs::Reg;
+pub use specifier::Specifier;

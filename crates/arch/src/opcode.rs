@@ -1,0 +1,507 @@
+//! The VAX opcode inventory.
+//!
+//! Each opcode carries its real VAX encoding byte, its mnemonic, its paper
+//! Table-1 group, its paper Table-2 PC-changing class, and its operand
+//! signature. The inventory covers the single-byte opcode space used by the
+//! workloads in the paper: all of the SIMPLE/FIELD/FLOAT/CALL-RET/SYSTEM/
+//! CHARACTER/DECIMAL groups are populated with their common members.
+
+use crate::datatype::{DataType, OperandKind};
+use crate::group::{BranchKind, OpcodeGroup};
+use std::fmt;
+
+use DataType::{Byte as B, DFloat as D, FFloat as F, Long as L, Quad as Q, Word as W};
+
+/// Static description of one opcode.
+#[derive(Debug, Clone, Copy)]
+pub struct OpcodeInfo {
+    /// The opcode enum value.
+    pub opcode: Opcode,
+    /// Encoding byte.
+    pub byte: u8,
+    /// Assembler mnemonic (upper case).
+    pub mnemonic: &'static str,
+    /// Paper Table-1 group.
+    pub group: OpcodeGroup,
+    /// Paper Table-2 PC-changing class.
+    pub branch: BranchKind,
+    /// Operand signature, in instruction-stream order.
+    pub operands: &'static [OperandKind],
+}
+
+macro_rules! opcodes {
+    ($( $variant:ident = $byte:expr, $mn:expr, $group:ident, $branch:ident, [$($op:expr),*]; )+) => {
+        /// A VAX opcode.
+        ///
+        /// `Opcode as u8` is NOT the encoding byte (use [`Opcode::byte`]);
+        /// the enum is dense so it can index tables.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        #[allow(missing_docs)]
+        pub enum Opcode {
+            $($variant,)+
+        }
+
+        /// Table of every opcode this crate defines, in declaration order.
+        pub static OPCODE_TABLE: &[OpcodeInfo] = &[
+            $(OpcodeInfo {
+                opcode: Opcode::$variant,
+                byte: $byte,
+                mnemonic: $mn,
+                group: OpcodeGroup::$group,
+                branch: BranchKind::$branch,
+                operands: &[$($op),*],
+            },)+
+        ];
+
+        impl Opcode {
+            /// Number of defined opcodes.
+            pub const COUNT: usize = OPCODE_TABLE.len();
+        }
+    };
+}
+
+const fn r(dt: DataType) -> OperandKind {
+    OperandKind::r(dt)
+}
+const fn w(dt: DataType) -> OperandKind {
+    OperandKind::w(dt)
+}
+const fn m(dt: DataType) -> OperandKind {
+    OperandKind::m(dt)
+}
+const fn a(dt: DataType) -> OperandKind {
+    OperandKind::a(dt)
+}
+const fn v(dt: DataType) -> OperandKind {
+    OperandKind::v(dt)
+}
+const BB: OperandKind = OperandKind::bb();
+const BW: OperandKind = OperandKind::bw();
+
+opcodes! {
+    // ---- SIMPLE: moves ----
+    Movb = 0x90, "MOVB", Simple, None, [r(B), w(B)];
+    Movw = 0xB0, "MOVW", Simple, None, [r(W), w(W)];
+    Movl = 0xD0, "MOVL", Simple, None, [r(L), w(L)];
+    Movq = 0x7D, "MOVQ", Simple, None, [r(Q), w(Q)];
+    Movab = 0x9E, "MOVAB", Simple, None, [a(B), w(L)];
+    Movaw = 0x3E, "MOVAW", Simple, None, [a(W), w(L)];
+    Moval = 0xDE, "MOVAL", Simple, None, [a(L), w(L)];
+    Movaq = 0x7E, "MOVAQ", Simple, None, [a(Q), w(L)];
+    Pushl = 0xDD, "PUSHL", Simple, None, [r(L)];
+    Pushab = 0x9F, "PUSHAB", Simple, None, [a(B)];
+    Pushaw = 0x3F, "PUSHAW", Simple, None, [a(W)];
+    Pushal = 0xDF, "PUSHAL", Simple, None, [a(L)];
+    Pushaq = 0x7F, "PUSHAQ", Simple, None, [a(Q)];
+    Clrb = 0x94, "CLRB", Simple, None, [w(B)];
+    Clrw = 0xB4, "CLRW", Simple, None, [w(W)];
+    Clrl = 0xD4, "CLRL", Simple, None, [w(L)];
+    Clrq = 0x7C, "CLRQ", Simple, None, [w(Q)];
+    Mnegb = 0x8E, "MNEGB", Simple, None, [r(B), w(B)];
+    Mnegw = 0xAE, "MNEGW", Simple, None, [r(W), w(W)];
+    Mnegl = 0xCE, "MNEGL", Simple, None, [r(L), w(L)];
+    Mcomb = 0x92, "MCOMB", Simple, None, [r(B), w(B)];
+    Mcomw = 0xB2, "MCOMW", Simple, None, [r(W), w(W)];
+    Mcoml = 0xD2, "MCOML", Simple, None, [r(L), w(L)];
+    Movzbw = 0x9B, "MOVZBW", Simple, None, [r(B), w(W)];
+    Movzbl = 0x9A, "MOVZBL", Simple, None, [r(B), w(L)];
+    Movzwl = 0x3C, "MOVZWL", Simple, None, [r(W), w(L)];
+    Cvtbw = 0x99, "CVTBW", Simple, None, [r(B), w(W)];
+    Cvtbl = 0x98, "CVTBL", Simple, None, [r(B), w(L)];
+    Cvtwb = 0x33, "CVTWB", Simple, None, [r(W), w(B)];
+    Cvtwl = 0x32, "CVTWL", Simple, None, [r(W), w(L)];
+    Cvtlb = 0xF6, "CVTLB", Simple, None, [r(L), w(B)];
+    Cvtlw = 0xF7, "CVTLW", Simple, None, [r(L), w(W)];
+
+    // ---- SIMPLE: integer arithmetic ----
+    Addb2 = 0x80, "ADDB2", Simple, None, [r(B), m(B)];
+    Addb3 = 0x81, "ADDB3", Simple, None, [r(B), r(B), w(B)];
+    Addw2 = 0xA0, "ADDW2", Simple, None, [r(W), m(W)];
+    Addw3 = 0xA1, "ADDW3", Simple, None, [r(W), r(W), w(W)];
+    Addl2 = 0xC0, "ADDL2", Simple, None, [r(L), m(L)];
+    Addl3 = 0xC1, "ADDL3", Simple, None, [r(L), r(L), w(L)];
+    Subb2 = 0x82, "SUBB2", Simple, None, [r(B), m(B)];
+    Subb3 = 0x83, "SUBB3", Simple, None, [r(B), r(B), w(B)];
+    Subw2 = 0xA2, "SUBW2", Simple, None, [r(W), m(W)];
+    Subw3 = 0xA3, "SUBW3", Simple, None, [r(W), r(W), w(W)];
+    Subl2 = 0xC2, "SUBL2", Simple, None, [r(L), m(L)];
+    Subl3 = 0xC3, "SUBL3", Simple, None, [r(L), r(L), w(L)];
+    Incb = 0x96, "INCB", Simple, None, [m(B)];
+    Incw = 0xB6, "INCW", Simple, None, [m(W)];
+    Incl = 0xD6, "INCL", Simple, None, [m(L)];
+    Decb = 0x97, "DECB", Simple, None, [m(B)];
+    Decw = 0xB7, "DECW", Simple, None, [m(W)];
+    Decl = 0xD7, "DECL", Simple, None, [m(L)];
+    Ashl = 0x78, "ASHL", Simple, None, [r(B), r(L), w(L)];
+    Ashq = 0x79, "ASHQ", Simple, None, [r(B), r(Q), w(Q)];
+    Rotl = 0x9C, "ROTL", Simple, None, [r(B), r(L), w(L)];
+
+    // ---- SIMPLE: boolean ----
+    Bicb2 = 0x8A, "BICB2", Simple, None, [r(B), m(B)];
+    Bicb3 = 0x8B, "BICB3", Simple, None, [r(B), r(B), w(B)];
+    Bicw2 = 0xAA, "BICW2", Simple, None, [r(W), m(W)];
+    Bicw3 = 0xAB, "BICW3", Simple, None, [r(W), r(W), w(W)];
+    Bicl2 = 0xCA, "BICL2", Simple, None, [r(L), m(L)];
+    Bicl3 = 0xCB, "BICL3", Simple, None, [r(L), r(L), w(L)];
+    Bisb2 = 0x88, "BISB2", Simple, None, [r(B), m(B)];
+    Bisb3 = 0x89, "BISB3", Simple, None, [r(B), r(B), w(B)];
+    Bisw2 = 0xA8, "BISW2", Simple, None, [r(W), m(W)];
+    Bisw3 = 0xA9, "BISW3", Simple, None, [r(W), r(W), w(W)];
+    Bisl2 = 0xC8, "BISL2", Simple, None, [r(L), m(L)];
+    Bisl3 = 0xC9, "BISL3", Simple, None, [r(L), r(L), w(L)];
+    Xorb2 = 0x8C, "XORB2", Simple, None, [r(B), m(B)];
+    Xorb3 = 0x8D, "XORB3", Simple, None, [r(B), r(B), w(B)];
+    Xorw2 = 0xAC, "XORW2", Simple, None, [r(W), m(W)];
+    Xorw3 = 0xAD, "XORW3", Simple, None, [r(W), r(W), w(W)];
+    Xorl2 = 0xCC, "XORL2", Simple, None, [r(L), m(L)];
+    Xorl3 = 0xCD, "XORL3", Simple, None, [r(L), r(L), w(L)];
+
+    // ---- SIMPLE: test/compare ----
+    Tstb = 0x95, "TSTB", Simple, None, [r(B)];
+    Tstw = 0xB5, "TSTW", Simple, None, [r(W)];
+    Tstl = 0xD5, "TSTL", Simple, None, [r(L)];
+    Cmpb = 0x91, "CMPB", Simple, None, [r(B), r(B)];
+    Cmpw = 0xB1, "CMPW", Simple, None, [r(W), r(W)];
+    Cmpl = 0xD1, "CMPL", Simple, None, [r(L), r(L)];
+    Bitb = 0x93, "BITB", Simple, None, [r(B), r(B)];
+    Bitw = 0xB3, "BITW", Simple, None, [r(W), r(W)];
+    Bitl = 0xD3, "BITL", Simple, None, [r(L), r(L)];
+
+    // ---- SIMPLE: conditional branches (with BRB/BRW, microcode-shared) ----
+    Bneq = 0x12, "BNEQ", Simple, SimpleCond, [BB];
+    Beql = 0x13, "BEQL", Simple, SimpleCond, [BB];
+    Bgtr = 0x14, "BGTR", Simple, SimpleCond, [BB];
+    Bleq = 0x15, "BLEQ", Simple, SimpleCond, [BB];
+    Bgeq = 0x18, "BGEQ", Simple, SimpleCond, [BB];
+    Blss = 0x19, "BLSS", Simple, SimpleCond, [BB];
+    Bgtru = 0x1A, "BGTRU", Simple, SimpleCond, [BB];
+    Blequ = 0x1B, "BLEQU", Simple, SimpleCond, [BB];
+    Bvc = 0x1C, "BVC", Simple, SimpleCond, [BB];
+    Bvs = 0x1D, "BVS", Simple, SimpleCond, [BB];
+    Bcc = 0x1E, "BCC", Simple, SimpleCond, [BB];
+    Bcs = 0x1F, "BCS", Simple, SimpleCond, [BB];
+    Brb = 0x11, "BRB", Simple, SimpleCond, [BB];
+    Brw = 0x31, "BRW", Simple, SimpleCond, [BW];
+
+    // ---- SIMPLE: unconditional JMP ----
+    Jmp = 0x17, "JMP", Simple, Unconditional, [a(B)];
+
+    // ---- SIMPLE: low-bit tests ----
+    Blbs = 0xE8, "BLBS", Simple, LowBit, [r(L), BB];
+    Blbc = 0xE9, "BLBC", Simple, LowBit, [r(L), BB];
+
+    // ---- SIMPLE: loop branches ----
+    Sobgeq = 0xF4, "SOBGEQ", Simple, Loop, [m(L), BB];
+    Sobgtr = 0xF5, "SOBGTR", Simple, Loop, [m(L), BB];
+    Aoblss = 0xF2, "AOBLSS", Simple, Loop, [r(L), m(L), BB];
+    Aobleq = 0xF3, "AOBLEQ", Simple, Loop, [r(L), m(L), BB];
+    Acbb = 0x9D, "ACBB", Simple, Loop, [r(B), r(B), m(B), BW];
+    Acbw = 0x3D, "ACBW", Simple, Loop, [r(W), r(W), m(W), BW];
+    Acbl = 0xF1, "ACBL", Simple, Loop, [r(L), r(L), m(L), BW];
+
+    // ---- SIMPLE: case branches ----
+    Caseb = 0x8F, "CASEB", Simple, Case, [r(B), r(B), r(B)];
+    Casew = 0xAF, "CASEW", Simple, Case, [r(W), r(W), r(W)];
+    Casel = 0xCF, "CASEL", Simple, Case, [r(L), r(L), r(L)];
+
+    // ---- SIMPLE: subroutine call/return ----
+    Bsbb = 0x10, "BSBB", Simple, Subroutine, [BB];
+    Bsbw = 0x30, "BSBW", Simple, Subroutine, [BW];
+    Jsb = 0x16, "JSB", Simple, Subroutine, [a(B)];
+    Rsb = 0x05, "RSB", Simple, Subroutine, [];
+
+    // ---- FIELD: bit-field operations ----
+    Extv = 0xEE, "EXTV", Field, None, [r(L), r(B), v(B), w(L)];
+    Extzv = 0xEF, "EXTZV", Field, None, [r(L), r(B), v(B), w(L)];
+    Insv = 0xF0, "INSV", Field, None, [r(L), r(L), r(B), v(B)];
+    Cmpv = 0xEC, "CMPV", Field, None, [r(L), r(B), v(B), r(L)];
+    Cmpzv = 0xED, "CMPZV", Field, None, [r(L), r(B), v(B), r(L)];
+    Ffs = 0xEA, "FFS", Field, None, [r(L), r(B), v(B), w(L)];
+    Ffc = 0xEB, "FFC", Field, None, [r(L), r(B), v(B), w(L)];
+
+    // ---- FIELD: bit branches ----
+    Bbs = 0xE0, "BBS", Field, BitBranch, [r(L), v(B), BB];
+    Bbc = 0xE1, "BBC", Field, BitBranch, [r(L), v(B), BB];
+    Bbss = 0xE2, "BBSS", Field, BitBranch, [r(L), v(B), BB];
+    Bbcs = 0xE3, "BBCS", Field, BitBranch, [r(L), v(B), BB];
+    Bbsc = 0xE4, "BBSC", Field, BitBranch, [r(L), v(B), BB];
+    Bbcc = 0xE5, "BBCC", Field, BitBranch, [r(L), v(B), BB];
+    Bbssi = 0xE6, "BBSSI", Field, BitBranch, [r(L), v(B), BB];
+    Bbcci = 0xE7, "BBCCI", Field, BitBranch, [r(L), v(B), BB];
+
+    // ---- FLOAT: F_floating ----
+    Addf2 = 0x40, "ADDF2", Float, None, [r(F), m(F)];
+    Addf3 = 0x41, "ADDF3", Float, None, [r(F), r(F), w(F)];
+    Subf2 = 0x42, "SUBF2", Float, None, [r(F), m(F)];
+    Subf3 = 0x43, "SUBF3", Float, None, [r(F), r(F), w(F)];
+    Mulf2 = 0x44, "MULF2", Float, None, [r(F), m(F)];
+    Mulf3 = 0x45, "MULF3", Float, None, [r(F), r(F), w(F)];
+    Divf2 = 0x46, "DIVF2", Float, None, [r(F), m(F)];
+    Divf3 = 0x47, "DIVF3", Float, None, [r(F), r(F), w(F)];
+    Cvtfl = 0x4A, "CVTFL", Float, None, [r(F), w(L)];
+    Cvtlf = 0x4E, "CVTLF", Float, None, [r(L), w(F)];
+    Movf = 0x50, "MOVF", Float, None, [r(F), w(F)];
+    Cmpf = 0x51, "CMPF", Float, None, [r(F), r(F)];
+    Mnegf = 0x52, "MNEGF", Float, None, [r(F), w(F)];
+    Tstf = 0x53, "TSTF", Float, None, [r(F)];
+    Cvtfd = 0x56, "CVTFD", Float, None, [r(F), w(D)];
+
+    // ---- FLOAT: D_floating ----
+    Addd2 = 0x60, "ADDD2", Float, None, [r(D), m(D)];
+    Addd3 = 0x61, "ADDD3", Float, None, [r(D), r(D), w(D)];
+    Subd2 = 0x62, "SUBD2", Float, None, [r(D), m(D)];
+    Subd3 = 0x63, "SUBD3", Float, None, [r(D), r(D), w(D)];
+    Muld2 = 0x64, "MULD2", Float, None, [r(D), m(D)];
+    Muld3 = 0x65, "MULD3", Float, None, [r(D), r(D), w(D)];
+    Divd2 = 0x66, "DIVD2", Float, None, [r(D), m(D)];
+    Divd3 = 0x67, "DIVD3", Float, None, [r(D), r(D), w(D)];
+    Movd = 0x70, "MOVD", Float, None, [r(D), w(D)];
+    Cmpd = 0x71, "CMPD", Float, None, [r(D), r(D)];
+    Tstd = 0x73, "TSTD", Float, None, [r(D)];
+    Cvtdl = 0x6A, "CVTDL", Float, None, [r(D), w(L)];
+    Cvtld = 0x6E, "CVTLD", Float, None, [r(L), w(D)];
+
+    // ---- FLOAT: integer multiply/divide (grouped with FLOAT per Table 1) ----
+    Mulb2 = 0x84, "MULB2", Float, None, [r(B), m(B)];
+    Mulb3 = 0x85, "MULB3", Float, None, [r(B), r(B), w(B)];
+    Mulw2 = 0xA4, "MULW2", Float, None, [r(W), m(W)];
+    Mulw3 = 0xA5, "MULW3", Float, None, [r(W), r(W), w(W)];
+    Mull2 = 0xC4, "MULL2", Float, None, [r(L), m(L)];
+    Mull3 = 0xC5, "MULL3", Float, None, [r(L), r(L), w(L)];
+    Divb2 = 0x86, "DIVB2", Float, None, [r(B), m(B)];
+    Divb3 = 0x87, "DIVB3", Float, None, [r(B), r(B), w(B)];
+    Divw2 = 0xA6, "DIVW2", Float, None, [r(W), m(W)];
+    Divw3 = 0xA7, "DIVW3", Float, None, [r(W), r(W), w(W)];
+    Divl2 = 0xC6, "DIVL2", Float, None, [r(L), m(L)];
+    Divl3 = 0xC7, "DIVL3", Float, None, [r(L), r(L), w(L)];
+    Emul = 0x7A, "EMUL", Float, None, [r(L), r(L), r(L), w(Q)];
+    Ediv = 0x7B, "EDIV", Float, None, [r(L), r(Q), w(L), w(L)];
+
+    // ---- CALL/RET ----
+    Callg = 0xFA, "CALLG", CallRet, ProcCall, [a(B), a(B)];
+    Calls = 0xFB, "CALLS", CallRet, ProcCall, [r(L), a(B)];
+    Ret = 0x04, "RET", CallRet, ProcCall, [];
+    Pushr = 0xBB, "PUSHR", CallRet, None, [r(W)];
+    Popr = 0xBA, "POPR", CallRet, None, [r(W)];
+
+    // ---- SYSTEM ----
+    Halt = 0x00, "HALT", System, None, [];
+    Nop = 0x01, "NOP", System, None, [];
+    Rei = 0x02, "REI", System, SystemBranch, [];
+    Bpt = 0x03, "BPT", System, SystemBranch, [];
+    Svpctx = 0x07, "SVPCTX", System, None, [];
+    Ldpctx = 0x06, "LDPCTX", System, None, [];
+    Chmk = 0xBC, "CHMK", System, SystemBranch, [r(W)];
+    Chme = 0xBD, "CHME", System, SystemBranch, [r(W)];
+    Chms = 0xBE, "CHMS", System, SystemBranch, [r(W)];
+    Chmu = 0xBF, "CHMU", System, SystemBranch, [r(W)];
+    Prober = 0x0C, "PROBER", System, None, [r(B), r(W), a(B)];
+    Probew = 0x0D, "PROBEW", System, None, [r(B), r(W), a(B)];
+    Insque = 0x0E, "INSQUE", System, None, [a(B), a(B)];
+    Remque = 0x0F, "REMQUE", System, None, [a(B), w(L)];
+    Mtpr = 0xDA, "MTPR", System, None, [r(L), r(L)];
+    Mfpr = 0xDB, "MFPR", System, None, [r(L), w(L)];
+    Bispsw = 0xB8, "BISPSW", System, None, [r(W)];
+    Bicpsw = 0xB9, "BICPSW", System, None, [r(W)];
+
+    // ---- CHARACTER ----
+    Movc3 = 0x28, "MOVC3", Character, None, [r(W), a(B), a(B)];
+    Cmpc3 = 0x29, "CMPC3", Character, None, [r(W), a(B), a(B)];
+    Scanc = 0x2A, "SCANC", Character, None, [r(W), a(B), a(B), r(B)];
+    Spanc = 0x2B, "SPANC", Character, None, [r(W), a(B), a(B), r(B)];
+    Movc5 = 0x2C, "MOVC5", Character, None, [r(W), a(B), r(B), r(W), a(B)];
+    Cmpc5 = 0x2D, "CMPC5", Character, None, [r(W), a(B), r(B), r(W), a(B)];
+    Locc = 0x3A, "LOCC", Character, None, [r(B), r(W), a(B)];
+    Skpc = 0x3B, "SKPC", Character, None, [r(B), r(W), a(B)];
+    Matchc = 0x39, "MATCHC", Character, None, [r(W), a(B), r(W), a(B)];
+
+    // ---- DECIMAL ----
+    Addp4 = 0x20, "ADDP4", Decimal, None, [r(W), a(B), r(W), a(B)];
+    Addp6 = 0x21, "ADDP6", Decimal, None, [r(W), a(B), r(W), a(B), r(W), a(B)];
+    Subp4 = 0x22, "SUBP4", Decimal, None, [r(W), a(B), r(W), a(B)];
+    Subp6 = 0x23, "SUBP6", Decimal, None, [r(W), a(B), r(W), a(B), r(W), a(B)];
+    Mulp = 0x25, "MULP", Decimal, None, [r(W), a(B), r(W), a(B), r(W), a(B)];
+    Divp = 0x27, "DIVP", Decimal, None, [r(W), a(B), r(W), a(B), r(W), a(B)];
+    Movp = 0x34, "MOVP", Decimal, None, [r(W), a(B), a(B)];
+    Cmpp3 = 0x35, "CMPP3", Decimal, None, [r(W), a(B), a(B)];
+    Cmpp4 = 0x37, "CMPP4", Decimal, None, [r(W), a(B), r(W), a(B)];
+    Cvtlp = 0xF9, "CVTLP", Decimal, None, [r(L), r(W), a(B)];
+    Cvtpl = 0x36, "CVTPL", Decimal, None, [r(W), a(B), w(L)];
+    Ashp = 0xF8, "ASHP", Decimal, None, [r(B), r(W), a(B), r(B), r(W), a(B)];
+}
+
+impl Opcode {
+    /// Static metadata for this opcode.
+    #[inline]
+    pub fn info(self) -> &'static OpcodeInfo {
+        &OPCODE_TABLE[self as usize]
+    }
+
+    /// The encoding byte.
+    #[inline]
+    pub fn byte(self) -> u8 {
+        self.info().byte
+    }
+
+    /// Assembler mnemonic.
+    #[inline]
+    pub fn mnemonic(self) -> &'static str {
+        self.info().mnemonic
+    }
+
+    /// Paper Table-1 group.
+    #[inline]
+    pub fn group(self) -> OpcodeGroup {
+        self.info().group
+    }
+
+    /// Paper Table-2 PC-changing class.
+    #[inline]
+    pub fn branch_kind(self) -> BranchKind {
+        self.info().branch
+    }
+
+    /// Operand signature.
+    #[inline]
+    pub fn operands(self) -> &'static [OperandKind] {
+        self.info().operands
+    }
+
+    /// Look up an opcode by its encoding byte.
+    pub fn from_byte(byte: u8) -> Option<Opcode> {
+        DECODE_MAP[byte as usize]
+    }
+
+    /// Look up an opcode by mnemonic (case-insensitive).
+    pub fn from_mnemonic(mn: &str) -> Option<Opcode> {
+        let upper = mn.to_ascii_uppercase();
+        OPCODE_TABLE
+            .iter()
+            .find(|info| info.mnemonic == upper)
+            .map(|info| info.opcode)
+    }
+
+    /// Number of operand specifiers (excluding branch displacements).
+    pub fn specifier_count(self) -> usize {
+        self.operands()
+            .iter()
+            .filter(|op| !op.is_branch_disp())
+            .count()
+    }
+
+    /// True if the instruction ends with an embedded branch displacement.
+    pub fn has_branch_disp(self) -> bool {
+        self.operands().iter().any(|op| op.is_branch_disp())
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Byte → opcode decode map, built at first use.
+static DECODE_MAP: std::sync::LazyLock<[Option<Opcode>; 256]> = std::sync::LazyLock::new(|| {
+    let mut map = [None; 256];
+    for info in OPCODE_TABLE {
+        assert!(
+            map[info.byte as usize].is_none(),
+            "duplicate opcode byte {:#04x} ({})",
+            info.byte,
+            info.mnemonic
+        );
+        map[info.byte as usize] = Some(info.opcode);
+    }
+    map
+});
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_dense_and_consistent() {
+        for (i, info) in OPCODE_TABLE.iter().enumerate() {
+            assert_eq!(info.opcode as usize, i, "enum order mismatch at {i}");
+            assert_eq!(info.opcode.info().byte, info.byte);
+        }
+    }
+
+    #[test]
+    fn no_duplicate_bytes() {
+        // Forces construction of DECODE_MAP, which asserts uniqueness.
+        assert_eq!(Opcode::from_byte(0xD0), Some(Opcode::Movl));
+    }
+
+    #[test]
+    fn roundtrip_byte_lookup() {
+        for info in OPCODE_TABLE {
+            assert_eq!(Opcode::from_byte(info.byte), Some(info.opcode));
+        }
+    }
+
+    #[test]
+    fn mnemonic_lookup() {
+        assert_eq!(Opcode::from_mnemonic("movl"), Some(Opcode::Movl));
+        assert_eq!(Opcode::from_mnemonic("CALLS"), Some(Opcode::Calls));
+        assert_eq!(Opcode::from_mnemonic("NOSUCH"), None);
+    }
+
+    #[test]
+    fn well_known_encodings() {
+        assert_eq!(Opcode::Movl.byte(), 0xD0);
+        assert_eq!(Opcode::Calls.byte(), 0xFB);
+        assert_eq!(Opcode::Ret.byte(), 0x04);
+        assert_eq!(Opcode::Brb.byte(), 0x11);
+        assert_eq!(Opcode::Movc3.byte(), 0x28);
+        assert_eq!(Opcode::Chmk.byte(), 0xBC);
+        assert_eq!(Opcode::Rei.byte(), 0x02);
+        assert_eq!(Opcode::Sobgtr.byte(), 0xF5);
+    }
+
+    #[test]
+    fn groups_match_table1() {
+        assert_eq!(Opcode::Movl.group(), OpcodeGroup::Simple);
+        assert_eq!(Opcode::Extv.group(), OpcodeGroup::Field);
+        assert_eq!(Opcode::Mull2.group(), OpcodeGroup::Float, "integer multiply is FLOAT group");
+        assert_eq!(Opcode::Pushr.group(), OpcodeGroup::CallRet);
+        assert_eq!(Opcode::Insque.group(), OpcodeGroup::System);
+        assert_eq!(Opcode::Movc3.group(), OpcodeGroup::Character);
+        assert_eq!(Opcode::Addp4.group(), OpcodeGroup::Decimal);
+    }
+
+    #[test]
+    fn branch_kinds_match_table2() {
+        assert_eq!(Opcode::Beql.branch_kind(), BranchKind::SimpleCond);
+        assert_eq!(Opcode::Brw.branch_kind(), BranchKind::SimpleCond);
+        assert_eq!(Opcode::Sobgtr.branch_kind(), BranchKind::Loop);
+        assert_eq!(Opcode::Blbs.branch_kind(), BranchKind::LowBit);
+        assert_eq!(Opcode::Jsb.branch_kind(), BranchKind::Subroutine);
+        assert_eq!(Opcode::Jmp.branch_kind(), BranchKind::Unconditional);
+        assert_eq!(Opcode::Casel.branch_kind(), BranchKind::Case);
+        assert_eq!(Opcode::Bbs.branch_kind(), BranchKind::BitBranch);
+        assert_eq!(Opcode::Calls.branch_kind(), BranchKind::ProcCall);
+        assert_eq!(Opcode::Rei.branch_kind(), BranchKind::SystemBranch);
+        assert_eq!(Opcode::Movl.branch_kind(), BranchKind::None);
+    }
+
+    #[test]
+    fn specifier_counts() {
+        assert_eq!(Opcode::Movl.specifier_count(), 2);
+        assert_eq!(Opcode::Beql.specifier_count(), 0);
+        assert!(Opcode::Beql.has_branch_disp());
+        assert_eq!(Opcode::Sobgtr.specifier_count(), 1);
+        assert!(Opcode::Sobgtr.has_branch_disp());
+        assert_eq!(Opcode::Addp6.specifier_count(), 6);
+        assert_eq!(Opcode::Ret.specifier_count(), 0);
+        assert!(!Opcode::Ret.has_branch_disp());
+    }
+
+    #[test]
+    fn max_six_specifiers() {
+        for info in OPCODE_TABLE {
+            assert!(info.opcode.specifier_count() <= 6, "{}", info.mnemonic);
+        }
+    }
+}

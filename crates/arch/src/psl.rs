@@ -1,0 +1,149 @@
+//! The processor status longword (condition codes, IPL, access modes).
+
+/// Processor access modes, most to least privileged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AccessMode {
+    /// Kernel mode (VMS executive core).
+    Kernel = 0,
+    /// Executive mode.
+    Executive = 1,
+    /// Supervisor mode.
+    Supervisor = 2,
+    /// User mode.
+    User = 3,
+}
+
+impl AccessMode {
+    /// Decode from the 2-bit PSL field.
+    pub const fn from_bits(bits: u32) -> AccessMode {
+        match bits & 3 {
+            0 => AccessMode::Kernel,
+            1 => AccessMode::Executive,
+            2 => AccessMode::Supervisor,
+            _ => AccessMode::User,
+        }
+    }
+}
+
+/// The processor status longword.
+///
+/// Only the fields the simulation needs are modelled: the four condition
+/// codes, the interrupt priority level, the current access mode, and the
+/// interrupt-stack flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Psl {
+    /// Negative condition code.
+    pub n: bool,
+    /// Zero condition code.
+    pub z: bool,
+    /// Overflow condition code.
+    pub v: bool,
+    /// Carry condition code.
+    pub c: bool,
+    /// Interrupt priority level, 0–31.
+    pub ipl: u8,
+    /// Current access mode.
+    pub cur_mode: AccessMode,
+    /// Executing on the interrupt stack.
+    pub is: bool,
+}
+
+impl Psl {
+    /// A fresh user-mode PSL with all condition codes clear.
+    pub const fn new_user() -> Psl {
+        Psl {
+            n: false,
+            z: false,
+            v: false,
+            c: false,
+            ipl: 0,
+            cur_mode: AccessMode::User,
+            is: false,
+        }
+    }
+
+    /// A fresh kernel-mode PSL at the given IPL.
+    pub const fn new_kernel(ipl: u8) -> Psl {
+        Psl {
+            n: false,
+            z: false,
+            v: false,
+            c: false,
+            ipl,
+            cur_mode: AccessMode::Kernel,
+            is: false,
+        }
+    }
+
+    /// Pack into the architectural 32-bit representation.
+    pub fn to_u32(self) -> u32 {
+        (self.c as u32)
+            | (self.v as u32) << 1
+            | (self.z as u32) << 2
+            | (self.n as u32) << 3
+            | (self.ipl as u32 & 0x1F) << 16
+            | (self.cur_mode as u32) << 24
+            | (self.is as u32) << 26
+    }
+
+    /// Unpack from the architectural 32-bit representation.
+    pub fn from_u32(raw: u32) -> Psl {
+        Psl {
+            c: raw & 1 != 0,
+            v: raw & 2 != 0,
+            z: raw & 4 != 0,
+            n: raw & 8 != 0,
+            ipl: ((raw >> 16) & 0x1F) as u8,
+            cur_mode: AccessMode::from_bits(raw >> 24),
+            is: raw & (1 << 26) != 0,
+        }
+    }
+
+    /// Set N and Z from a signed 32-bit result; clears V and C.
+    pub fn set_nz(&mut self, value: i32) {
+        self.n = value < 0;
+        self.z = value == 0;
+        self.v = false;
+        self.c = false;
+    }
+}
+
+impl Default for Psl {
+    fn default() -> Self {
+        Psl::new_user()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut psl = Psl::new_kernel(24);
+        psl.n = true;
+        psl.c = true;
+        psl.is = true;
+        let packed = psl.to_u32();
+        assert_eq!(Psl::from_u32(packed), psl);
+    }
+
+    #[test]
+    fn set_nz() {
+        let mut psl = Psl::new_user();
+        psl.set_nz(-5);
+        assert!(psl.n && !psl.z);
+        psl.set_nz(0);
+        assert!(!psl.n && psl.z);
+        psl.set_nz(7);
+        assert!(!psl.n && !psl.z);
+    }
+
+    #[test]
+    fn mode_bits() {
+        assert_eq!(AccessMode::from_bits(0), AccessMode::Kernel);
+        assert_eq!(AccessMode::from_bits(3), AccessMode::User);
+        let psl = Psl::new_user();
+        assert_eq!(Psl::from_u32(psl.to_u32()).cur_mode, AccessMode::User);
+    }
+}

@@ -1,0 +1,89 @@
+//! The VAX general register file names.
+
+use std::fmt;
+
+/// A general register number (R0–R15, with the architectural aliases
+/// AP=R12, FP=R13, SP=R14, PC=R15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Argument pointer, R12.
+    pub const AP: Reg = Reg(12);
+    /// Frame pointer, R13.
+    pub const FP: Reg = Reg(13);
+    /// Stack pointer, R14.
+    pub const SP: Reg = Reg(14);
+    /// Program counter, R15.
+    pub const PC: Reg = Reg(15);
+
+    /// Construct from a register number.
+    ///
+    /// # Panics
+    /// Panics if `n > 15`.
+    pub const fn new(n: u8) -> Reg {
+        assert!(n < 16, "register number out of range");
+        Reg(n)
+    }
+
+    /// The register number, 0–15.
+    pub const fn number(self) -> u8 {
+        self.0
+    }
+
+    /// True for R15.
+    pub const fn is_pc(self) -> bool {
+        self.0 == 15
+    }
+
+    /// True for R14.
+    pub const fn is_sp(self) -> bool {
+        self.0 == 14
+    }
+}
+
+impl From<Reg> for usize {
+    fn from(r: Reg) -> usize {
+        r.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            12 => f.write_str("AP"),
+            13 => f.write_str("FP"),
+            14 => f.write_str("SP"),
+            15 => f.write_str("PC"),
+            n => write!(f, "R{n}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aliases() {
+        assert_eq!(Reg::AP.number(), 12);
+        assert_eq!(Reg::FP.number(), 13);
+        assert_eq!(Reg::SP.number(), 14);
+        assert_eq!(Reg::PC.number(), 15);
+        assert!(Reg::PC.is_pc());
+        assert!(Reg::SP.is_sp());
+        assert!(!Reg::new(3).is_pc());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Reg::new(5).to_string(), "R5");
+        assert_eq!(Reg::SP.to_string(), "SP");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let _ = Reg::new(16);
+    }
+}

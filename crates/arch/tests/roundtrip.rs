@@ -1,0 +1,118 @@
+//! Property tests: encode → decode is the identity over random instructions.
+
+use proptest::prelude::*;
+use vax_arch::{
+    decode, encode, AddressingMode, Instruction, Opcode, OperandKind, Reg, Specifier,
+};
+
+/// Strategy producing an arbitrary non-PC general register.
+fn any_gpr() -> impl Strategy<Value = Reg> {
+    (0u8..15).prop_map(Reg::new)
+}
+
+/// Strategy producing a random valid specifier for an operand of the given
+/// byte size.
+fn any_specifier(operand_size: u32) -> BoxedStrategy<Specifier> {
+    let base = prop_oneof![
+        (0u8..64).prop_map(Specifier::literal),
+        any_gpr().prop_map(Specifier::register),
+        any_gpr().prop_map(Specifier::deferred),
+        (any_gpr(), any::<i32>()).prop_map(|(r, d)| Specifier::displacement(d, r)),
+        any::<u32>().prop_map(Specifier::immediate),
+        any::<u32>().prop_map(Specifier::absolute),
+        any_gpr().prop_map(|r| Specifier {
+            mode: AddressingMode::Autoincrement,
+            reg: r,
+            value: 0,
+            index: None
+        }),
+        any_gpr().prop_map(|r| Specifier {
+            mode: AddressingMode::Autodecrement,
+            reg: r,
+            value: 0,
+            index: None
+        }),
+        (any_gpr(), any::<i8>()).prop_map(|(r, d)| Specifier {
+            mode: AddressingMode::ByteDispDeferred,
+            reg: r,
+            value: d as i64,
+            index: None
+        }),
+        any::<i32>().prop_map(|d| Specifier {
+            mode: AddressingMode::PcRelative,
+            reg: Reg::PC,
+            value: d as i64,
+            index: None
+        }),
+    ];
+    // Immediates wider than a longword keep only `operand_size` bytes; mask
+    // the generated value so the round-trip comparison is meaningful.
+    let masked = base.prop_map(move |mut s| {
+        if s.mode == AddressingMode::Immediate && operand_size < 8 {
+            let mask = (1u64 << (operand_size * 8)) - 1;
+            s.value = ((s.value as u64) & mask) as i64;
+        }
+        s
+    });
+    (masked, proptest::option::of(any_gpr()))
+        .prop_map(|(s, ix)| {
+            let indexable = !matches!(
+                s.mode,
+                AddressingMode::Literal | AddressingMode::Register | AddressingMode::Immediate
+            );
+            match (indexable, ix) {
+                (true, Some(ix)) => s.indexed(ix),
+                _ => s,
+            }
+        })
+        .boxed()
+}
+
+fn any_instruction() -> impl Strategy<Value = Instruction> {
+    (0..Opcode::COUNT)
+        .prop_flat_map(|i| {
+            let opcode = vax_arch::opcode::OPCODE_TABLE[i].opcode;
+            let spec_strats: Vec<BoxedStrategy<Specifier>> = opcode
+                .operands()
+                .iter()
+                .filter_map(|op| match op {
+                    OperandKind::Spec(_, dt) => Some(any_specifier(dt.size())),
+                    OperandKind::Branch(_) => None,
+                })
+                .collect();
+            let disp = if opcode.has_branch_disp() {
+                // Word-width opcodes allow a wider range; stay within byte
+                // range so both widths are valid.
+                (-128i32..=127).prop_map(Some).boxed()
+            } else {
+                Just(None).boxed()
+            };
+            (Just(opcode), spec_strats, disp)
+        })
+        .prop_map(|(opcode, specs, disp)| Instruction::new(opcode, specs, disp))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn encode_decode_roundtrip(insn in any_instruction()) {
+        let bytes = encode(&insn);
+        prop_assert_eq!(bytes.len() as u32, insn.len);
+        let decoded = decode(&bytes).unwrap();
+        prop_assert_eq!(decoded, insn);
+    }
+
+    #[test]
+    fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..32)) {
+        let _ = decode(&bytes);
+    }
+
+    #[test]
+    fn decoded_len_bounded(bytes in proptest::collection::vec(any::<u8>(), 1..64)) {
+        if let Ok(insn) = decode(&bytes) {
+            prop_assert!(insn.len as usize <= bytes.len());
+            prop_assert!(insn.len >= 1);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # vax-asm
+//!
+//! A small two-pass VAX assembler with two front ends:
+//!
+//! * a **builder API** ([`Asm`]) used programmatically by the kernel
+//!   builder and the workload generators — items are opcodes with symbolic
+//!   operands and labels;
+//! * a **text front end** ([`parse`]) accepting a VAX MACRO-ish subset for
+//!   examples and tests.
+//!
+//! Label-referencing operands assemble to PC-relative (longword
+//! displacement) form; branch displacements use the width fixed by the
+//! opcode and error out of range.
+//!
+//! ```
+//! use vax_asm::{Asm, Operand};
+//! use vax_arch::{Opcode, Reg};
+//!
+//! let mut asm = Asm::new(0x1000);
+//! asm.label("loop");
+//! asm.insn(Opcode::Sobgtr, &[Operand::Reg(Reg::new(2))], Some("loop"));
+//! let image = asm.assemble().unwrap();
+//! assert_eq!(image.origin, 0x1000);
+//! assert!(!image.bytes.is_empty());
+//! ```
+
+pub mod builder;
+pub mod text;
+
+pub use builder::{Asm, AsmError, Image, Operand};
+pub use text::{parse, ParseError};

@@ -1,0 +1,361 @@
+//! The text front end: a VAX MACRO-ish subset.
+//!
+//! ```text
+//! ; comments run to end of line
+//! start:  MOVL  #10, R2        ; immediate
+//! loop:   ADDL2 #1, R3
+//!         SOBGTR R2, loop      ; branch target is a label
+//!         MOVL  4(R5), R0      ; displacement
+//!         MOVL  @8(R5), R0     ; displacement deferred
+//!         MOVL  (R1)+, -(SP)   ; autoincrement / autodecrement
+//!         MOVL  (R1)[R3], R0   ; indexed
+//!         MOVL  @#^X2000, R0   ; absolute
+//!         MOVL  data, R0       ; PC-relative label reference
+//!         HALT
+//! data:   .long 123
+//!         .byte 1, 2, 3
+//!         .blkb 16
+//!         .align 4
+//! ```
+
+use crate::builder::{Asm, AsmError, Image, Operand};
+use std::fmt;
+use vax_arch::{Opcode, Reg};
+
+/// Text-assembly errors, with a 1-based line number.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// Syntax error with description.
+    Syntax {
+        /// 1-based source line.
+        line: usize,
+        /// What went wrong.
+        msg: String,
+    },
+    /// Error from the second (assembly) phase.
+    Asm(AsmError),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Syntax { line, msg } => write!(f, "line {line}: {msg}"),
+            ParseError::Asm(e) => write!(f, "assembly error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<AsmError> for ParseError {
+    fn from(e: AsmError) -> Self {
+        ParseError::Asm(e)
+    }
+}
+
+fn err(line: usize, msg: impl Into<String>) -> ParseError {
+    ParseError::Syntax {
+        line,
+        msg: msg.into(),
+    }
+}
+
+fn parse_reg(s: &str) -> Option<Reg> {
+    let u = s.to_ascii_uppercase();
+    match u.as_str() {
+        "AP" => Some(Reg::AP),
+        "FP" => Some(Reg::FP),
+        "SP" => Some(Reg::SP),
+        "PC" => Some(Reg::PC),
+        _ => {
+            let n = u.strip_prefix('R')?.parse::<u8>().ok()?;
+            if n < 16 {
+                Some(Reg::new(n))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+fn parse_number(s: &str) -> Option<i64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("^X").or_else(|| s.strip_prefix("^x")) {
+        return i64::from_str_radix(hex, 16).ok();
+    }
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        return i64::from_str_radix(hex, 16).ok();
+    }
+    if let Some(rest) = s.strip_prefix('-') {
+        return parse_number(rest).map(|v| -v);
+    }
+    s.parse::<i64>().ok()
+}
+
+/// Parse one operand token.
+fn parse_operand(tok: &str, line: usize) -> Result<Operand, ParseError> {
+    let tok = tok.trim();
+    if tok.is_empty() {
+        return Err(err(line, "empty operand"));
+    }
+    // Indexed suffix [Rx].
+    if let Some(open) = tok.rfind('[') {
+        if let Some(rest) = tok[open..].strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+            let ix = parse_reg(rest).ok_or_else(|| err(line, format!("bad index register `{rest}`")))?;
+            let base = parse_operand(&tok[..open], line)?;
+            return Ok(Operand::Indexed(Box::new(base), ix));
+        }
+    }
+    // Immediate / literal.
+    if let Some(rest) = tok.strip_prefix('#') {
+        let v = parse_number(rest).ok_or_else(|| err(line, format!("bad immediate `{rest}`")))?;
+        return Ok(if (0..64).contains(&v) {
+            Operand::Lit(v as u8)
+        } else {
+            Operand::Imm(v as u32)
+        });
+    }
+    // Absolute @#addr.
+    if let Some(rest) = tok.strip_prefix("@#") {
+        let v = parse_number(rest).ok_or_else(|| err(line, format!("bad address `{rest}`")))?;
+        return Ok(Operand::Abs(v as u32));
+    }
+    // Deferred displacement @d(Rn).
+    if let Some(rest) = tok.strip_prefix('@') {
+        if let Some(open) = rest.find('(') {
+            let d = if open == 0 {
+                0
+            } else {
+                parse_number(&rest[..open])
+                    .ok_or_else(|| err(line, format!("bad displacement `{}`", &rest[..open])))?
+            };
+            let inner = rest[open..]
+                .strip_prefix('(')
+                .and_then(|s| s.strip_suffix(')'))
+                .ok_or_else(|| err(line, "unbalanced parentheses"))?;
+            let r = parse_reg(inner).ok_or_else(|| err(line, format!("bad register `{inner}`")))?;
+            return Ok(Operand::DispDef(d as i32, r));
+        }
+        return Err(err(line, format!("bad deferred operand `{tok}`")));
+    }
+    // -(Rn)
+    if let Some(rest) = tok.strip_prefix("-(") {
+        let r = rest
+            .strip_suffix(')')
+            .and_then(parse_reg)
+            .ok_or_else(|| err(line, format!("bad autodecrement `{tok}`")))?;
+        return Ok(Operand::AutoDec(r));
+    }
+    // (Rn)+ and (Rn)
+    if let Some(rest) = tok.strip_prefix('(') {
+        if let Some(inner) = rest.strip_suffix(")+") {
+            let r = parse_reg(inner).ok_or_else(|| err(line, format!("bad register `{inner}`")))?;
+            return Ok(Operand::AutoInc(r));
+        }
+        if let Some(inner) = rest.strip_suffix(')') {
+            let r = parse_reg(inner).ok_or_else(|| err(line, format!("bad register `{inner}`")))?;
+            return Ok(Operand::Deferred(r));
+        }
+        return Err(err(line, "unbalanced parentheses"));
+    }
+    // disp(Rn)
+    if let Some(open) = tok.find('(') {
+        let d = parse_number(&tok[..open])
+            .ok_or_else(|| err(line, format!("bad displacement `{}`", &tok[..open])))?;
+        let inner = tok[open..]
+            .strip_prefix('(')
+            .and_then(|s| s.strip_suffix(')'))
+            .ok_or_else(|| err(line, "unbalanced parentheses"))?;
+        let r = parse_reg(inner).ok_or_else(|| err(line, format!("bad register `{inner}`")))?;
+        return Ok(Operand::Disp(d as i32, r));
+    }
+    // Plain register.
+    if let Some(r) = parse_reg(tok) {
+        return Ok(Operand::Reg(r));
+    }
+    // Otherwise a label reference.
+    Ok(Operand::Label(tok.to_string()))
+}
+
+/// Split an operand list on commas, respecting no nesting beyond `[...]`.
+fn split_operands(s: &str) -> Vec<String> {
+    s.split(',')
+        .map(|t| t.trim().to_string())
+        .filter(|t| !t.is_empty())
+        .collect()
+}
+
+/// Assemble a text program at `origin`.
+///
+/// # Errors
+/// [`ParseError`] for syntax errors (with line numbers) and any assembly
+/// error from the builder.
+pub fn parse(source: &str, origin: u32) -> Result<Image, ParseError> {
+    let mut asm = Asm::new(origin);
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = lineno + 1;
+        let mut text = raw;
+        if let Some(semi) = text.find(';') {
+            text = &text[..semi];
+        }
+        let mut text = text.trim();
+        if text.is_empty() {
+            continue;
+        }
+        // Labels.
+        while let Some(colon) = text.find(':') {
+            let (name, rest) = text.split_at(colon);
+            let name = name.trim();
+            if name.is_empty() || name.contains(char::is_whitespace) {
+                return Err(err(line, "bad label"));
+            }
+            asm.label(name);
+            text = rest[1..].trim();
+            if text.is_empty() {
+                break;
+            }
+        }
+        if text.is_empty() {
+            continue;
+        }
+        // Directives.
+        if let Some(rest) = text.strip_prefix('.') {
+            let (dir, args) = rest.split_once(char::is_whitespace).unwrap_or((rest, ""));
+            match dir.to_ascii_lowercase().as_str() {
+                "byte" => {
+                    let mut v = Vec::new();
+                    for t in split_operands(args) {
+                        let n = parse_number(&t).ok_or_else(|| err(line, "bad .byte value"))?;
+                        v.push(n as u8);
+                    }
+                    asm.bytes(&v);
+                }
+                "word" => {
+                    for t in split_operands(args) {
+                        let n = parse_number(&t).ok_or_else(|| err(line, "bad .word value"))?;
+                        asm.word(n as u16);
+                    }
+                }
+                "long" => {
+                    for t in split_operands(args) {
+                        let n = parse_number(&t).ok_or_else(|| err(line, "bad .long value"))?;
+                        asm.long(n as u32);
+                    }
+                }
+                "ascii" => {
+                    let trimmed = args.trim();
+                    let inner = trimmed
+                        .strip_prefix('"')
+                        .and_then(|s| s.strip_suffix('"'))
+                        .ok_or_else(|| err(line, ".ascii needs a quoted string"))?;
+                    asm.bytes(inner.as_bytes());
+                }
+                "blkb" => {
+                    let n = parse_number(args).ok_or_else(|| err(line, "bad .blkb count"))?;
+                    asm.block(n as u32);
+                }
+                "align" => {
+                    let n = parse_number(args).ok_or_else(|| err(line, "bad .align value"))?;
+                    if !(n as u32).is_power_of_two() {
+                        return Err(err(line, ".align must be a power of two"));
+                    }
+                    asm.align(n as u32);
+                }
+                other => return Err(err(line, format!("unknown directive `.{other}`"))),
+            }
+            continue;
+        }
+        // Instruction.
+        let (mn, rest) = text.split_once(char::is_whitespace).unwrap_or((text, ""));
+        let opcode = Opcode::from_mnemonic(mn)
+            .ok_or_else(|| err(line, format!("unknown opcode `{mn}`")))?;
+        let mut toks = split_operands(rest);
+        let target = if opcode.has_branch_disp() {
+            Some(
+                toks.pop()
+                    .ok_or_else(|| err(line, format!("{mn} needs a branch target")))?,
+            )
+        } else {
+            None
+        };
+        let mut operands = Vec::with_capacity(toks.len());
+        for t in &toks {
+            operands.push(parse_operand(t, line)?);
+        }
+        asm.insn(opcode, &operands, target.as_deref());
+    }
+    Ok(asm.assemble()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vax_arch::decode;
+
+    #[test]
+    fn full_program() {
+        let src = r#"
+            ; count down from ten
+            start:  MOVL #10, R2
+            loop:   ADDL2 #1, R3
+                    SOBGTR R2, loop
+                    MOVL 4(R5), R0
+                    MOVL @8(R5), R1
+                    MOVL (R1)+, -(SP)
+                    MOVL (R1)[R3], R0
+                    MOVL @#^X2000, R0
+                    MOVL data, R0
+                    HALT
+            data:   .long 123
+        "#;
+        let img = parse(src, 0x1000).unwrap();
+        assert!(img.labels.contains_key("start"));
+        assert!(img.labels.contains_key("loop"));
+        let first = decode(&img.bytes).unwrap();
+        assert_eq!(first.opcode, Opcode::Movl);
+    }
+
+    #[test]
+    fn literal_vs_immediate() {
+        let img = parse("MOVL #5, R0", 0).unwrap();
+        assert_eq!(img.bytes, vec![0xD0, 0x05, 0x50]);
+        let img2 = parse("MOVL #100, R0", 0).unwrap();
+        assert_eq!(img2.bytes[1], 0x8F, "values over 63 use immediate mode");
+    }
+
+    #[test]
+    fn directives() {
+        let img = parse(
+            ".byte 1, 2\n.word 772\n.long ^X10\n.ascii \"hi\"\n.align 4\n.blkb 2",
+            0,
+        )
+        .unwrap();
+        assert_eq!(
+            img.bytes,
+            vec![1, 2, 4, 3, 0x10, 0, 0, 0, b'h', b'i', 0, 0, 0, 0]
+        );
+    }
+
+    #[test]
+    fn syntax_errors_have_lines() {
+        let e = parse("MOVL #1 R0\nXYZZY R1", 0).unwrap_err();
+        match e {
+            ParseError::Syntax { line, .. } => assert_eq!(line, 1),
+            other => panic!("unexpected {other}"),
+        }
+        let e2 = parse("\nXYZZY R1", 0).unwrap_err();
+        match e2 {
+            ParseError::Syntax { line, msg } => {
+                assert_eq!(line, 2);
+                assert!(msg.contains("XYZZY"));
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn branch_targets() {
+        let img = parse("l: BRB l", 0).unwrap();
+        assert_eq!(img.bytes, vec![0x11, 0xFE]); // branch-to-self
+    }
+}

@@ -1,0 +1,41 @@
+//! One bench per paper table: each regenerates its table from a fresh
+//! measurement, so `cargo bench` exercises every reproduction path (Table
+//! 8's bench is the headline: measure + reduce + render the full timing
+//! decomposition).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vax_analysis::{tables, Analysis};
+use vax_workload::{build_system, Workload};
+
+fn measured() -> (vax_cpu::ControlStore, vax780::Measurement) {
+    let mut sys = build_system(Workload::TimesharingResearch, 3, 1984);
+    let m = sys.measure(5_000, 40_000);
+    (sys.cpu.cs.clone(), m)
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let (cs, m) = measured();
+    let a = Analysis::new(&cs, &m);
+    let mut g = c.benchmark_group("tables");
+    g.bench_function("table1_opcode_groups", |b| b.iter(|| tables::table1(&a)));
+    g.bench_function("table2_pc_changing", |b| b.iter(|| tables::table2(&a)));
+    g.bench_function("table3_specifiers", |b| b.iter(|| tables::table3(&a)));
+    g.bench_function("table4_modes", |b| b.iter(|| tables::table4(&a)));
+    g.bench_function("table5_reads_writes", |b| b.iter(|| tables::table5(&a)));
+    g.bench_function("table6_instr_size", |b| b.iter(|| tables::table6(&a)));
+    g.bench_function("table7_headway", |b| b.iter(|| tables::table7(&a)));
+    g.bench_function("events_section4", |b| b.iter(|| tables::events(&a)));
+    g.bench_function("table8_timing", |b| b.iter(|| tables::table8(&a)));
+    g.bench_function("table9_per_group", |b| b.iter(|| tables::table9(&a)));
+    g.finish();
+
+    let mut g2 = c.benchmark_group("reduction");
+    g2.sample_size(20);
+    g2.bench_function("histogram_to_analysis", |b| {
+        b.iter(|| Analysis::new(&cs, &m))
+    });
+    g2.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! Regenerate the paper's tables: the full reproduction harness.
+//!
+//! ```text
+//! reproduce [--instructions N] [--seed S] [--experiment WHICH] [--per-workload]
+//! ```
+//!
+//! `WHICH` ∈ {fig1, table1..table9, table3, events, all} (default `all`).
+//! `--per-workload` also prints the composite's five constituent CPIs.
+
+use vax_analysis::{tables, Analysis};
+use vax_bench::{DEFAULT_INSTRUCTIONS, DEFAULT_SEED};
+use vax_workload::Workload;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: reproduce [--instructions N] [--seed S] [--experiment fig1|table1..table9|events|all] [--per-workload]"
+    );
+    std::process::exit(2)
+}
+
+fn fig1() -> String {
+    // Figure 1 is the 780 block diagram; we reproduce it as the simulated
+    // component inventory.
+    let mut s = String::new();
+    s.push_str("Figure 1 — VAX-11/780 block diagram (simulated configuration)\n");
+    s.push_str("  CPU pipeline:\n");
+    s.push_str("    I-Fetch   : 8-byte instruction buffer, one outstanding longword fill\n");
+    s.push_str("    I-Decode  : one non-overlapped cycle per instruction\n");
+    s.push_str("    EBOX      : microcoded; 200 ns microcycle; synthetic control store\n");
+    s.push_str("  Memory subsystem:\n");
+    s.push_str("    TB        : 128 entries, 2-way, split system/process halves\n");
+    s.push_str("    Cache     : 8 KB, 2-way, 8-byte blocks, write-through, no write-allocate\n");
+    s.push_str("    Write buf : one longword, 6-cycle drain\n");
+    s.push_str("    SBI       : shared path to 8 MB memory, 6-cycle read miss\n");
+    s
+}
+
+fn main() {
+    let mut instructions = DEFAULT_INSTRUCTIONS;
+    let mut seed = DEFAULT_SEED;
+    let mut experiment = "all".to_string();
+    let mut per_workload = false;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--instructions" => {
+                i += 1;
+                instructions = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                i += 1;
+                seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--experiment" => {
+                i += 1;
+                experiment = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            "--per-workload" => per_workload = true,
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    if experiment == "fig1" {
+        print!("{}", fig1());
+        return;
+    }
+
+    eprintln!(
+        "running 5 workloads x {instructions} instructions (seed {seed}) ..."
+    );
+    // Run the five workloads and form the composite, keeping one system's
+    // control store as the reduction key (all systems share the layout).
+    let mut per: Vec<(Workload, f64)> = Vec::new();
+    let mut composite = None;
+    let mut cs = None;
+    for (i, &w) in Workload::ALL.iter().enumerate() {
+        let mut system = vax_workload::build_system(w, vax_workload::rte::PROCESSES_PER_WORKLOAD, seed.wrapping_add(i as u64));
+        let m = system.measure(instructions / 10, instructions);
+        per.push((w, m.cpi()));
+        match &mut composite {
+            None => {
+                composite = Some(m);
+                cs = Some(system.cpu.cs.clone());
+            }
+            Some(c) => c.merge(&m),
+        }
+        eprintln!("  {} done (CPI {:.2})", w.name(), per.last().unwrap().1);
+    }
+    let composite = composite.unwrap();
+    let a = Analysis::new(cs.as_ref().unwrap(), &composite);
+    if let Err(e) = a.check_conservation() {
+        eprintln!("WARNING: conservation check failed: {e}");
+    }
+
+    if per_workload {
+        println!("Per-workload CPI:");
+        for (w, cpi) in &per {
+            println!("  {:<34} {cpi:>6.2}", w.name());
+        }
+        println!();
+    }
+
+    let out = match experiment.as_str() {
+        "all" => {
+            let mut s = fig1();
+            s.push('\n');
+            s.push_str(&tables::print_all_tables(&a));
+            s
+        }
+        "table1" => tables::table1(&a),
+        "table2" => tables::table2(&a),
+        "table3" => tables::table3(&a),
+        "table4" => tables::table4(&a),
+        "table5" => tables::table5(&a),
+        "table6" => tables::table6(&a),
+        "table7" => tables::table7(&a),
+        "table8" => tables::table8(&a),
+        "table9" => tables::table9(&a),
+        "events" => tables::events(&a),
+        _ => usage(),
+    };
+    print!("{out}");
+}

@@ -1,0 +1,66 @@
+//! Diagnostic: step the failing workload and dump the last instructions
+//! before a panic (PC, opcode, SP, R8).
+
+use std::collections::VecDeque;
+use vax_cpu::StepOutcome;
+use vax_workload::{build_system, Workload};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let widx: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(0);
+    let seed: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1984);
+    let w = Workload::ALL[widx];
+    let mut sys = build_system(w, vax_workload::rte::PROCESSES_PER_WORKLOAD, seed);
+    let mut ring: VecDeque<String> = VecDeque::with_capacity(256);
+    let mut prev_wl: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        for step in 0u64..2_000_000 {
+            let pc = sys.cpu.pc();
+            let sp = sys.cpu.regs[14];
+            let r8 = sys.cpu.regs[8];
+            let pid = sys.cpu.iprs.pcbb;
+            let wlimit = sys
+                .cpu
+                .mem
+                .raw_translate(vax_mem::VirtAddr(0x10900 + 196))
+                .map(|pa| sys.cpu.mem.value_read(pa, 4))
+                .unwrap_or(0);
+            let out = sys.cpu.step();
+            if ring.len() == 256 {
+                ring.pop_front();
+            }
+            ring.push_back(format!(
+                "{step:>8} pc={pc:#010x} sp={sp:#010x} r8={r8:#010x} wl={wlimit:#010x} {:?}",
+                out
+            ));
+            let in_user = pc < 0x8000_0000;
+            if !in_user {
+                // Kernel transitions interleave PCBB and table switches;
+                // only sample in user mode.
+            } else if let Some(&pw) = prev_wl.get(&pid) {
+                if pw == 0x1d800 && wlimit != 0x1d800 {
+                    println!("--- proc {pid:#x}: wlimit {pw:#x} -> {wlimit:#x} at step {step} ---");
+                    for l in ring.iter().rev().take(8).collect::<Vec<_>>().iter().rev() {
+                        println!("{l}");
+                    }
+                    return;
+                }
+            }
+            if in_user {
+                prev_wl.insert(pid, wlimit);
+            }
+            if matches!(out, StepOutcome::Halted) {
+                println!("HALTED at step {step}");
+                break;
+            }
+        }
+    }));
+    if result.is_err() {
+        println!("--- last instructions before panic ---");
+        for l in ring.iter().rev().take(60).collect::<Vec<_>>().iter().rev() {
+            println!("{l}");
+        }
+    } else {
+        println!("completed without panic");
+    }
+}

@@ -1,0 +1,16 @@
+//! # vax-bench
+//!
+//! Benchmark harness and the `reproduce` binary that regenerates every
+//! table and figure of Emer & Clark (ISCA 1984). See `src/bin/reproduce.rs`
+//! and the Criterion benches under `benches/`.
+
+/// Default per-workload measurement length (instructions) for the full
+/// reproduction. The paper ran each experiment ~1 hour of wall time; at
+/// 10.6 cycles (2.1 µs) per instruction that is ~1.7 G instructions — far
+/// beyond what shape-fidelity requires. One million instructions per
+/// workload is past the point where every reported statistic is stable to
+/// three digits.
+pub const DEFAULT_INSTRUCTIONS: u64 = 1_000_000;
+
+/// Default RNG seed for the reproduction experiments.
+pub const DEFAULT_SEED: u64 = 1984;

@@ -1,0 +1,98 @@
+//! Measurement results: the raw material of the paper's tables.
+
+use upc_monitor::Histogram;
+use vax_cpu::CpuStats;
+use vax_mem::MemStats;
+
+/// Everything one measurement run produced: the µPC histogram (both
+/// planes), the CPU's own counters, and the memory-system counters.
+///
+/// Measurements are mergeable — the paper's composite workload is "the sum
+/// of the five UPC histograms".
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// The histogram board contents.
+    pub hist: Histogram,
+    /// CPU counters over the interval.
+    pub cpu_stats: CpuStats,
+    /// Memory-system counters over the interval.
+    pub mem_stats: MemStats,
+    /// Total cycles in the interval.
+    pub cycles: u64,
+}
+
+impl Measurement {
+    /// Instructions retired in the interval.
+    pub fn instructions(&self) -> u64 {
+        self.cpu_stats.instructions
+    }
+
+    /// Cycles per instruction — the paper's headline metric.
+    pub fn cpi(&self) -> f64 {
+        if self.instructions() == 0 {
+            return 0.0;
+        }
+        self.cycles as f64 / self.instructions() as f64
+    }
+
+    /// Merge another measurement (composite workloads).
+    pub fn merge(&mut self, other: &Measurement) {
+        self.hist.merge(&other.hist);
+        self.cpu_stats.merge(&other.cpu_stats);
+        let o = &other.mem_stats;
+        let s = &mut self.mem_stats;
+        s.d_reads += o.d_reads;
+        s.d_read_misses += o.d_read_misses;
+        s.d_writes += o.d_writes;
+        s.d_write_hits += o.d_write_hits;
+        s.i_reads += o.i_reads;
+        s.i_read_misses += o.i_read_misses;
+        s.tb_miss_d += o.tb_miss_d;
+        s.tb_miss_i += o.tb_miss_i;
+        s.unaligned_refs += o.unaligned_refs;
+        s.pte_reads += o.pte_reads;
+        s.pte_read_misses += o.pte_read_misses;
+        s.read_stall_cycles += o.read_stall_cycles;
+        s.write_stall_cycles += o.write_stall_cycles;
+        self.cycles += other.cycles;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empty() -> Measurement {
+        Measurement {
+            hist: Histogram::new_16k(),
+            cpu_stats: CpuStats::new(),
+            mem_stats: MemStats::new(),
+            cycles: 0,
+        }
+    }
+
+    #[test]
+    fn cpi() {
+        let mut m = empty();
+        m.cycles = 1060;
+        m.cpu_stats.instructions = 100;
+        assert!((m.cpi() - 10.6).abs() < 1e-9);
+        assert_eq!(empty().cpi(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = empty();
+        a.cycles = 100;
+        a.cpu_stats.instructions = 10;
+        a.mem_stats.d_reads = 5;
+        let mut b = empty();
+        b.cycles = 50;
+        b.cpu_stats.instructions = 5;
+        b.mem_stats.d_reads = 2;
+        a.merge(&b);
+        assert_eq!(a.cycles, 150);
+        assert_eq!(a.instructions(), 15);
+        assert_eq!(a.mem_stats.d_reads, 7);
+    }
+}

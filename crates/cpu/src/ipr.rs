@@ -1,0 +1,131 @@
+//! Internal processor registers (the MTPR/MFPR register space).
+//!
+//! Only the registers the VMS-lite kernel needs are modelled. The numbers
+//! follow the VAX architecture where one exists.
+
+/// Internal processor register numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IprNum {
+    /// Kernel stack pointer.
+    Ksp = 0,
+    /// P0 base register.
+    P0br = 8,
+    /// P0 length register.
+    P0lr = 9,
+    /// P1 base register.
+    P1br = 10,
+    /// P1 length register.
+    P1lr = 11,
+    /// System base register.
+    Sbr = 12,
+    /// System length register.
+    Slr = 13,
+    /// Process control block base (physical).
+    Pcbb = 16,
+    /// System control block base.
+    Scbb = 17,
+    /// Interrupt priority level.
+    Ipl = 18,
+    /// Software interrupt request register (write-only).
+    Sirr = 20,
+    /// Software interrupt summary register.
+    Sisr = 21,
+    /// Interval clock control/status.
+    Iccs = 24,
+    /// TB invalidate single (write VA).
+    Tbis = 58,
+    /// TB invalidate all.
+    Tbia = 57,
+}
+
+impl IprNum {
+    /// Decode an MTPR/MFPR register number.
+    pub fn from_u32(n: u32) -> Option<IprNum> {
+        Some(match n {
+            0 => IprNum::Ksp,
+            8 => IprNum::P0br,
+            9 => IprNum::P0lr,
+            10 => IprNum::P1br,
+            11 => IprNum::P1lr,
+            12 => IprNum::Sbr,
+            13 => IprNum::Slr,
+            16 => IprNum::Pcbb,
+            17 => IprNum::Scbb,
+            18 => IprNum::Ipl,
+            20 => IprNum::Sirr,
+            21 => IprNum::Sisr,
+            24 => IprNum::Iccs,
+            57 => IprNum::Tbia,
+            58 => IprNum::Tbis,
+            _ => return None,
+        })
+    }
+}
+
+/// The IPR file.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ipr {
+    /// Kernel stack pointer (saved while in user mode).
+    pub ksp: u32,
+    /// Process control block base (physical address).
+    pub pcbb: u32,
+    /// System control block base (system virtual address).
+    pub scbb: u32,
+    /// Software interrupt summary (bit n = pending level-n soft interrupt).
+    pub sisr: u16,
+    /// Interval clock control (modelled as a simple enable flag).
+    pub iccs: u32,
+}
+
+impl Ipr {
+    /// Highest pending software-interrupt level, if any.
+    pub fn pending_soft(&self) -> Option<u8> {
+        if self.sisr == 0 {
+            None
+        } else {
+            Some(15 - self.sisr.leading_zeros() as u8)
+        }
+    }
+
+    /// Request a software interrupt at `level` (MTPR to SIRR).
+    pub fn request_soft(&mut self, level: u8) {
+        if (1..=15).contains(&level) {
+            self.sisr |= 1 << level;
+        }
+    }
+
+    /// Clear a pending software interrupt at `level`.
+    pub fn clear_soft(&mut self, level: u8) {
+        self.sisr &= !(1 << level);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soft_interrupt_priority() {
+        let mut ipr = Ipr::default();
+        assert_eq!(ipr.pending_soft(), None);
+        ipr.request_soft(3);
+        ipr.request_soft(7);
+        assert_eq!(ipr.pending_soft(), Some(7));
+        ipr.clear_soft(7);
+        assert_eq!(ipr.pending_soft(), Some(3));
+    }
+
+    #[test]
+    fn level_bounds() {
+        let mut ipr = Ipr::default();
+        ipr.request_soft(0);
+        ipr.request_soft(16);
+        assert_eq!(ipr.pending_soft(), None);
+    }
+
+    #[test]
+    fn ipr_numbers() {
+        assert_eq!(IprNum::from_u32(20), Some(IprNum::Sirr));
+        assert_eq!(IprNum::from_u32(99), None);
+    }
+}

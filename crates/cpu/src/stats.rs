@@ -1,0 +1,170 @@
+//! CPU-side event counters.
+//!
+//! Most of the paper's tables are reduced from the µPC histogram; these
+//! counters cover the few quantities the paper obtained from other sources
+//! (instruction sizes, Table 6) or that cross-check the reduction
+//! (per-branch-class taken rates, Table 2; interrupt headway, Table 7).
+
+use vax_arch::{BranchKind, Opcode};
+
+/// Counters accumulated by the CPU while stepping.
+#[derive(Debug, Clone)]
+pub struct CpuStats {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Total I-stream bytes of retired instructions (Table 6).
+    pub istream_bytes: u64,
+    /// Dynamic count per opcode.
+    pub opcode_counts: Vec<u64>,
+    /// PC-changing instructions executed, by class (Table 2).
+    pub branch_executed: [u64; 10],
+    /// PC-changing instructions that actually changed the PC, by class.
+    pub branch_taken: [u64; 10],
+    /// Hardware interrupts delivered.
+    pub hw_interrupts: u64,
+    /// Software interrupts delivered.
+    pub sw_interrupts: u64,
+    /// Software interrupt *requests* (MTPR to SIRR).
+    pub sw_interrupt_requests: u64,
+    /// Context switches (LDPCTX executions).
+    pub context_switches: u64,
+    /// Exceptions dispatched (arithmetic traps etc.).
+    pub exceptions: u64,
+    /// Operand specifiers evaluated in first position.
+    pub spec1_count: u64,
+    /// Operand specifiers evaluated in positions 2–6.
+    pub spec26_count: u64,
+    /// Branch displacements present on retired instructions.
+    pub branch_disps: u64,
+}
+
+impl CpuStats {
+    /// Zeroed counters.
+    pub fn new() -> CpuStats {
+        CpuStats {
+            instructions: 0,
+            istream_bytes: 0,
+            opcode_counts: vec![0; Opcode::COUNT],
+            branch_executed: [0; 10],
+            branch_taken: [0; 10],
+            hw_interrupts: 0,
+            sw_interrupts: 0,
+            sw_interrupt_requests: 0,
+            context_switches: 0,
+            exceptions: 0,
+            spec1_count: 0,
+            spec26_count: 0,
+            branch_disps: 0,
+        }
+    }
+
+    /// Dense index of a branch kind for the per-class arrays.
+    pub fn branch_index(kind: BranchKind) -> usize {
+        match kind {
+            BranchKind::None => 0,
+            BranchKind::SimpleCond => 1,
+            BranchKind::Loop => 2,
+            BranchKind::LowBit => 3,
+            BranchKind::Subroutine => 4,
+            BranchKind::Unconditional => 5,
+            BranchKind::Case => 6,
+            BranchKind::BitBranch => 7,
+            BranchKind::ProcCall => 8,
+            BranchKind::SystemBranch => 9,
+        }
+    }
+
+    /// Record a retired PC-changing instruction.
+    pub fn record_branch(&mut self, kind: BranchKind, taken: bool) {
+        let i = Self::branch_index(kind);
+        self.branch_executed[i] += 1;
+        if taken {
+            self.branch_taken[i] += 1;
+        }
+    }
+
+    /// Executed count for a branch class.
+    pub fn branch_executed_of(&self, kind: BranchKind) -> u64 {
+        self.branch_executed[Self::branch_index(kind)]
+    }
+
+    /// Taken count for a branch class.
+    pub fn branch_taken_of(&self, kind: BranchKind) -> u64 {
+        self.branch_taken[Self::branch_index(kind)]
+    }
+
+    /// All interrupts delivered (Table 7's "hardware and software").
+    pub fn total_interrupts(&self) -> u64 {
+        self.hw_interrupts + self.sw_interrupts
+    }
+
+    /// Average instruction size in bytes (Table 6).
+    pub fn avg_instruction_bytes(&self) -> f64 {
+        if self.instructions == 0 {
+            return 0.0;
+        }
+        self.istream_bytes as f64 / self.instructions as f64
+    }
+
+    /// Merge another stats block (composite workloads).
+    pub fn merge(&mut self, other: &CpuStats) {
+        self.instructions += other.instructions;
+        self.istream_bytes += other.istream_bytes;
+        for (a, b) in self.opcode_counts.iter_mut().zip(&other.opcode_counts) {
+            *a += b;
+        }
+        for i in 0..10 {
+            self.branch_executed[i] += other.branch_executed[i];
+            self.branch_taken[i] += other.branch_taken[i];
+        }
+        self.hw_interrupts += other.hw_interrupts;
+        self.sw_interrupts += other.sw_interrupts;
+        self.sw_interrupt_requests += other.sw_interrupt_requests;
+        self.context_switches += other.context_switches;
+        self.exceptions += other.exceptions;
+        self.spec1_count += other.spec1_count;
+        self.spec26_count += other.spec26_count;
+        self.branch_disps += other.branch_disps;
+    }
+}
+
+impl Default for CpuStats {
+    fn default() -> Self {
+        CpuStats::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branch_recording() {
+        let mut s = CpuStats::new();
+        s.record_branch(BranchKind::Loop, true);
+        s.record_branch(BranchKind::Loop, false);
+        assert_eq!(s.branch_executed_of(BranchKind::Loop), 2);
+        assert_eq!(s.branch_taken_of(BranchKind::Loop), 1);
+    }
+
+    #[test]
+    fn averages_and_merge() {
+        let mut a = CpuStats::new();
+        a.instructions = 10;
+        a.istream_bytes = 38;
+        assert!((a.avg_instruction_bytes() - 3.8).abs() < 1e-9);
+        let mut b = CpuStats::new();
+        b.instructions = 10;
+        b.istream_bytes = 42;
+        b.hw_interrupts = 3;
+        a.merge(&b);
+        assert_eq!(a.instructions, 20);
+        assert_eq!(a.istream_bytes, 80);
+        assert_eq!(a.total_interrupts(), 3);
+    }
+
+    #[test]
+    fn zero_instructions_safe() {
+        assert_eq!(CpuStats::new().avg_instruction_bytes(), 0.0);
+    }
+}

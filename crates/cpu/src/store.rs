@@ -1,0 +1,379 @@
+//! The synthetic control store.
+//!
+//! The 780's microcode is organized as an instruction-decode dispatch,
+//! per-addressing-mode specifier routines (with separate copies used for the
+//! first specifier of an instruction versus later specifiers), branch
+//! displacement processing, per-opcode execute routines, and service code
+//! (TB miss, unaligned data, interrupts). We allocate a µPC region per
+//! routine through the [`ControlStoreMap`], so the monitor's histogram can
+//! be reduced *by address* exactly as the paper's analysts did against the
+//! microcode listings.
+
+use upc_monitor::{Activity, ControlStoreMap, MicroOp, MicroPc, Region};
+use vax_arch::{AddressingMode, Opcode, OpcodeGroup};
+
+use crate::config::CpuConfig;
+use crate::exec::group_layout;
+
+/// Access flavor of a specifier evaluation, determining its microroutine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecFlavor {
+    /// Operand is read at specifier time.
+    Read,
+    /// Operand address is computed; datum written at write-back.
+    Write,
+    /// Operand is read at specifier time and written at write-back.
+    Modify,
+    /// Only the address is computed (MOVAx, string bases, bit-field bases).
+    Address,
+}
+
+impl SpecFlavor {
+    /// Dense index for table storage.
+    pub const fn index(self) -> usize {
+        match self {
+            SpecFlavor::Read => 0,
+            SpecFlavor::Write => 1,
+            SpecFlavor::Modify => 2,
+            SpecFlavor::Address => 3,
+        }
+    }
+
+    const ALL: [SpecFlavor; 4] = [
+        SpecFlavor::Read,
+        SpecFlavor::Write,
+        SpecFlavor::Modify,
+        SpecFlavor::Address,
+    ];
+}
+
+/// Microroutine shape for a (mode, flavor) pair, or `None` if the
+/// combination is architecturally impossible / unused by our workloads.
+///
+/// Conventions interpreted by the EBOX:
+/// * ops before the final `Write` run at specifier-evaluation time;
+/// * a final `Write` (Write/Modify flavors, memory modes) runs at
+///   write-back time, after execute;
+/// * for Write flavor with register mode, the single `Compute` is the
+///   write-back move into the register;
+/// * quad-width data repeats the data-reference µop at the same address.
+fn spec_ops(mode: AddressingMode, flavor: SpecFlavor) -> Option<Vec<MicroOp>> {
+    use AddressingMode::*;
+    use MicroOp::{Compute as C, Read as R, Write as W};
+    let ops = match (mode, flavor) {
+        (Literal, SpecFlavor::Read) => vec![C],
+        (Literal, _) => return None,
+
+        (Register, SpecFlavor::Read) => vec![C],
+        (Register, SpecFlavor::Write) => vec![C],
+        (Register, SpecFlavor::Modify) => vec![C],
+        // "address of a register" faults architecturally; bit-field bases in
+        // register mode are handled as a register read.
+        (Register, SpecFlavor::Address) => vec![C],
+
+        (RegisterDeferred, SpecFlavor::Read) => vec![R],
+        (RegisterDeferred, SpecFlavor::Write) => vec![W],
+        (RegisterDeferred, SpecFlavor::Modify) => vec![R, W],
+        (RegisterDeferred, SpecFlavor::Address) => vec![C],
+
+        (Autoincrement, SpecFlavor::Read) => vec![R, C],
+        (Autoincrement, SpecFlavor::Write) => vec![C, W],
+        (Autoincrement, SpecFlavor::Modify) => vec![R, C, W],
+        (Autoincrement, SpecFlavor::Address) => vec![C, C],
+
+        (Autodecrement, SpecFlavor::Read) => vec![C, R],
+        (Autodecrement, SpecFlavor::Write) => vec![C, W],
+        (Autodecrement, SpecFlavor::Modify) => vec![C, R, W],
+        (Autodecrement, SpecFlavor::Address) => vec![C, C],
+
+        (AutoincrementDeferred, SpecFlavor::Read) => vec![R, C, R],
+        (AutoincrementDeferred, SpecFlavor::Write) => vec![R, C, W],
+        (AutoincrementDeferred, SpecFlavor::Modify) => vec![R, C, R, W],
+        (AutoincrementDeferred, SpecFlavor::Address) => vec![R, C],
+
+        (ByteDisp | WordDisp | LongDisp, SpecFlavor::Read) => vec![C, R],
+        (ByteDisp | WordDisp | LongDisp, SpecFlavor::Write) => vec![C, W],
+        (ByteDisp | WordDisp | LongDisp, SpecFlavor::Modify) => vec![C, R, W],
+        (ByteDisp | WordDisp | LongDisp, SpecFlavor::Address) => vec![C],
+
+        (
+            ByteDispDeferred | WordDispDeferred | LongDispDeferred,
+            SpecFlavor::Read,
+        ) => vec![C, R, R],
+        (
+            ByteDispDeferred | WordDispDeferred | LongDispDeferred,
+            SpecFlavor::Write,
+        ) => vec![C, R, W],
+        (
+            ByteDispDeferred | WordDispDeferred | LongDispDeferred,
+            SpecFlavor::Modify,
+        ) => vec![C, R, R, W],
+        (
+            ByteDispDeferred | WordDispDeferred | LongDispDeferred,
+            SpecFlavor::Address,
+        ) => vec![C, R],
+
+        (Immediate, SpecFlavor::Read) => vec![C],
+        (Immediate, _) => return None,
+
+        (Absolute, SpecFlavor::Read) => vec![C, R],
+        (Absolute, SpecFlavor::Write) => vec![C, W],
+        (Absolute, SpecFlavor::Modify) => vec![C, R, W],
+        (Absolute, SpecFlavor::Address) => vec![C],
+
+        (PcRelative, SpecFlavor::Read) => vec![C, R],
+        (PcRelative, SpecFlavor::Write) => vec![C, W],
+        (PcRelative, SpecFlavor::Modify) => vec![C, R, W],
+        (PcRelative, SpecFlavor::Address) => vec![C],
+
+        (PcRelativeDeferred, SpecFlavor::Read) => vec![C, R, R],
+        (PcRelativeDeferred, SpecFlavor::Write) => vec![C, R, W],
+        (PcRelativeDeferred, SpecFlavor::Modify) => vec![C, R, R, W],
+        (PcRelativeDeferred, SpecFlavor::Address) => vec![C, R],
+    };
+    Some(ops)
+}
+
+/// The specifier microroutine set for one position class (SPEC1 or
+/// SPEC2-6).
+#[derive(Debug, Clone)]
+pub struct SpecRegions {
+    regions: [[Option<Region>; 4]; 16],
+    /// The "insufficient bytes" dispatch target for this position class.
+    pub ib_wait: MicroPc,
+    /// The index-prefix base-address computation cycle.
+    pub index_prefix: Region,
+}
+
+impl SpecRegions {
+    fn build(map: &mut ControlStoreMap, activity: Activity, prefix: &str) -> SpecRegions {
+        let mut regions: [[Option<Region>; 4]; 16] = Default::default();
+        for (mi, &mode) in AddressingMode::ALL.iter().enumerate() {
+            for flavor in SpecFlavor::ALL {
+                if let Some(ops) = spec_ops(mode, flavor) {
+                    let name = format!("{prefix}.{:?}.{:?}", mode, flavor);
+                    regions[mi][flavor.index()] = Some(map.alloc(&name, activity, &ops));
+                }
+            }
+        }
+        let ib_wait = map
+            .alloc(&format!("{prefix}.IBWAIT"), activity, &[MicroOp::IbWait])
+            .entry();
+        let index_prefix = map.alloc(
+            &format!("{prefix}.INDEX"),
+            activity,
+            &[MicroOp::Compute],
+        );
+        SpecRegions {
+            regions,
+            ib_wait,
+            index_prefix,
+        }
+    }
+
+    /// The routine for a (mode, flavor) pair.
+    ///
+    /// # Panics
+    /// Panics for impossible combinations (e.g. writing a literal).
+    pub fn routine(&self, mode: AddressingMode, flavor: SpecFlavor) -> Region {
+        let mi = AddressingMode::ALL.iter().position(|m| *m == mode).unwrap();
+        self.regions[mi][flavor.index()]
+            .unwrap_or_else(|| panic!("no specifier routine for {mode:?} {flavor:?}"))
+    }
+
+    /// The µop shape of the routine (same convention as the map).
+    pub fn ops(&self, map: &ControlStoreMap, mode: AddressingMode, flavor: SpecFlavor) -> Vec<MicroOp> {
+        let r = self.routine(mode, flavor);
+        (0..r.len).map(|i| map.op(r.at(i))).collect()
+    }
+}
+
+/// The fully laid-out control store.
+#[derive(Debug, Clone)]
+pub struct ControlStore {
+    /// The reduction key (shared with the analysis crate).
+    pub map: ControlStoreMap,
+    /// Instruction decode: offset 0 = the one decode cycle, offset 1 = the
+    /// decode-time IB-wait dispatch.
+    pub ird: Region,
+    /// First-specifier routines.
+    pub spec1: SpecRegions,
+    /// Later-specifier routines.
+    pub spec26: SpecRegions,
+    /// Branch displacement: offset 0 = target computation, offset 1 =
+    /// displacement-byte IB wait.
+    pub bdisp: Region,
+    /// Execute routine per opcode (indexed by `Opcode as usize`).
+    pub exec: Vec<Region>,
+    /// TB-miss service (MemMgmt): `overhead` compute cycles then a PTE-read
+    /// µop at offset `overhead`.
+    pub tb_miss: Region,
+    /// Offset of the PTE read within `tb_miss`.
+    pub tb_miss_read_off: u16,
+    /// Unaligned-reference microcode (MemMgmt): two compute cycles and the
+    /// extra physical read at offset 2 (write at offset 3).
+    pub unaligned: Region,
+    /// Interrupt dispatch (IntExcept).
+    pub interrupt: Region,
+    /// Offsets of the vector read and the two pushes within `interrupt`.
+    pub interrupt_read_off: u16,
+    /// Offset of the first push (PC) in `interrupt`.
+    pub interrupt_push_off: u16,
+    /// The abort cycle (microtraps and patches).
+    pub abort: Region,
+}
+
+impl ControlStore {
+    /// Lay out the control store for a CPU configuration.
+    pub fn new(config: &CpuConfig) -> ControlStore {
+        use MicroOp::{Compute as C, IbWait, Read as R, Write as W};
+        let mut map = ControlStoreMap::new();
+
+        let ird = map.alloc("IRD", Activity::Decode, &[C, IbWait]);
+        let spec1 = SpecRegions::build(&mut map, Activity::Spec1, "SPEC1");
+        let spec26 = SpecRegions::build(&mut map, Activity::Spec26, "SPEC26");
+        let bdisp = map.alloc("BDISP", Activity::BDisp, &[C, IbWait]);
+
+        let mut exec = Vec::with_capacity(Opcode::COUNT);
+        for info in vax_arch::opcode::OPCODE_TABLE {
+            let layout = group_layout(info.group);
+            let activity = match info.group {
+                OpcodeGroup::Simple => Activity::ExecSimple,
+                OpcodeGroup::Field => Activity::ExecField,
+                OpcodeGroup::Float => Activity::ExecFloat,
+                OpcodeGroup::CallRet => Activity::ExecCallRet,
+                OpcodeGroup::System => Activity::ExecSystem,
+                OpcodeGroup::Character => Activity::ExecCharacter,
+                OpcodeGroup::Decimal => Activity::ExecDecimal,
+            };
+            exec.push(map.alloc(&format!("EXEC.{}", info.mnemonic), activity, layout));
+        }
+
+        let overhead = config.tb_miss_overhead as usize;
+        let mut tb_ops = vec![C; overhead];
+        tb_ops.push(R);
+        tb_ops.push(C);
+        let tb_miss = map.alloc("TBMISS", Activity::MemMgmt, &tb_ops);
+        let tb_miss_read_off = overhead as u16;
+
+        let unaligned = map.alloc("UNALIGNED", Activity::MemMgmt, &[C, C, R, W]);
+
+        // Interrupt dispatch: ~26 cycles of state sequencing, the vector
+        // read, two pushes, and cleanup.
+        let mut int_ops = vec![C; 26];
+        let interrupt_read_off = int_ops.len() as u16;
+        int_ops.push(R);
+        let interrupt_push_off = int_ops.len() as u16;
+        int_ops.push(W);
+        int_ops.push(W);
+        int_ops.extend_from_slice(&[C; 4]);
+        let interrupt = map.alloc("INT.DISPATCH", Activity::IntExcept, &int_ops);
+
+        let abort = map.alloc("ABORT", Activity::Abort, &[C]);
+
+        ControlStore {
+            map,
+            ird,
+            spec1,
+            spec26,
+            bdisp,
+            exec,
+            tb_miss,
+            tb_miss_read_off,
+            unaligned,
+            interrupt,
+            interrupt_read_off,
+            interrupt_push_off,
+            abort,
+        }
+    }
+
+    /// Execute region of an opcode.
+    #[inline]
+    pub fn exec_region(&self, op: Opcode) -> Region {
+        self.exec[op as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_within_16k() {
+        let cs = ControlStore::new(&CpuConfig::default());
+        assert!(cs.map.len() <= upc_monitor::BOARD_BUCKETS);
+        assert!(cs.map.len() > 500, "control store should be substantial");
+    }
+
+    #[test]
+    fn decode_region_shape() {
+        let cs = ControlStore::new(&CpuConfig::default());
+        assert_eq!(cs.map.op(cs.ird.at(0)), MicroOp::Compute);
+        assert_eq!(cs.map.op(cs.ird.at(1)), MicroOp::IbWait);
+        assert_eq!(cs.map.activity(cs.ird.at(0)), Activity::Decode);
+    }
+
+    #[test]
+    fn spec_routines_exist() {
+        let cs = ControlStore::new(&CpuConfig::default());
+        let r = cs
+            .spec1
+            .routine(AddressingMode::ByteDisp, SpecFlavor::Read);
+        assert_eq!(r.len, 2);
+        assert_eq!(cs.map.op(r.at(0)), MicroOp::Compute);
+        assert_eq!(cs.map.op(r.at(1)), MicroOp::Read);
+        assert_eq!(cs.map.activity(r.at(1)), Activity::Spec1);
+        let w = cs
+            .spec26
+            .routine(AddressingMode::Register, SpecFlavor::Write);
+        assert_eq!(w.len, 1);
+        assert_eq!(cs.map.activity(w.at(0)), Activity::Spec26);
+    }
+
+    #[test]
+    #[should_panic(expected = "no specifier routine")]
+    fn literal_write_impossible() {
+        let cs = ControlStore::new(&CpuConfig::default());
+        let _ = cs
+            .spec1
+            .routine(AddressingMode::Literal, SpecFlavor::Write);
+    }
+
+    #[test]
+    fn exec_regions_cover_all_opcodes() {
+        let cs = ControlStore::new(&CpuConfig::default());
+        assert_eq!(cs.exec.len(), Opcode::COUNT);
+        let r = cs.exec_region(Opcode::Movc3);
+        assert_eq!(cs.map.activity(r.entry()), Activity::ExecCharacter);
+        assert!(cs.map.routine(r.entry()).contains("MOVC3"));
+    }
+
+    #[test]
+    fn tb_miss_shape() {
+        let config = CpuConfig::default();
+        let cs = ControlStore::new(&config);
+        assert_eq!(
+            cs.map.op(cs.tb_miss.at(cs.tb_miss_read_off)),
+            MicroOp::Read
+        );
+        assert_eq!(
+            cs.tb_miss.len as u32,
+            config.tb_miss_overhead + 2
+        );
+        assert_eq!(cs.map.activity(cs.tb_miss.entry()), Activity::MemMgmt);
+    }
+
+    #[test]
+    fn interrupt_shape() {
+        let cs = ControlStore::new(&CpuConfig::default());
+        assert_eq!(
+            cs.map.op(cs.interrupt.at(cs.interrupt_read_off)),
+            MicroOp::Read
+        );
+        assert_eq!(
+            cs.map.op(cs.interrupt.at(cs.interrupt_push_off)),
+            MicroOp::Write
+        );
+    }
+}

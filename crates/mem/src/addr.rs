@@ -1,0 +1,164 @@
+//! Virtual and physical address newtypes and the VAX address-space map.
+
+use std::fmt;
+
+/// VAX page size in bytes (small by design: 512 bytes).
+pub const PAGE_SIZE: u32 = 512;
+
+/// Bits of byte offset within a page.
+pub const PAGE_SHIFT: u32 = 9;
+
+/// The VAX virtual address regions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// Program region, `0x0000_0000 ..= 0x3FFF_FFFF`, grows up.
+    P0,
+    /// Control (stack) region, `0x4000_0000 ..= 0x7FFF_FFFF`, grows down.
+    P1,
+    /// System region, `0x8000_0000 ..= 0xBFFF_FFFF`.
+    S0,
+    /// Reserved region, `0xC000_0000 ..`.
+    Reserved,
+}
+
+/// A 32-bit virtual address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct VirtAddr(pub u32);
+
+impl VirtAddr {
+    /// The virtual page number (region bits included).
+    #[inline]
+    pub const fn vpn(self) -> u32 {
+        self.0 >> PAGE_SHIFT
+    }
+
+    /// Byte offset within the page.
+    #[inline]
+    pub const fn offset(self) -> u32 {
+        self.0 & (PAGE_SIZE - 1)
+    }
+
+    /// The region this address belongs to.
+    #[inline]
+    pub const fn region(self) -> Region {
+        match self.0 >> 30 {
+            0 => Region::P0,
+            1 => Region::P1,
+            2 => Region::S0,
+            _ => Region::Reserved,
+        }
+    }
+
+    /// Page number *within* the region (the index into that region's page
+    /// table).
+    #[inline]
+    pub const fn region_vpn(self) -> u32 {
+        (self.0 & 0x3FFF_FFFF) >> PAGE_SHIFT
+    }
+
+    /// True if this address lies in system space.
+    #[inline]
+    pub const fn is_system(self) -> bool {
+        matches!(self.region(), Region::S0 | Region::Reserved)
+    }
+
+    /// Address advanced by `n` bytes (wrapping).
+    #[inline]
+    pub const fn add(self, n: u32) -> VirtAddr {
+        VirtAddr(self.0.wrapping_add(n))
+    }
+
+    /// True if an access of `size` bytes at this address crosses an aligned
+    /// longword boundary (requiring two physical references on the 780).
+    #[inline]
+    pub const fn is_unaligned(self, size: u32) -> bool {
+        if size >= 4 {
+            self.0 & 3 != 0
+        } else {
+            (self.0 & 3) + size > 4
+        }
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#010x}", self.0)
+    }
+}
+
+impl From<u32> for VirtAddr {
+    fn from(v: u32) -> Self {
+        VirtAddr(v)
+    }
+}
+
+/// A 30-bit physical address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct PhysAddr(pub u32);
+
+impl PhysAddr {
+    /// Compose from page frame number and offset.
+    #[inline]
+    pub const fn from_pfn(pfn: u32, offset: u32) -> PhysAddr {
+        PhysAddr((pfn << PAGE_SHIFT) | (offset & (PAGE_SIZE - 1)))
+    }
+
+    /// The page frame number.
+    #[inline]
+    pub const fn pfn(self) -> u32 {
+        self.0 >> PAGE_SHIFT
+    }
+
+    /// Address advanced by `n` bytes.
+    #[inline]
+    pub const fn add(self, n: u32) -> PhysAddr {
+        PhysAddr(self.0.wrapping_add(n))
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#010x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions() {
+        assert_eq!(VirtAddr(0x0000_1000).region(), Region::P0);
+        assert_eq!(VirtAddr(0x4000_1000).region(), Region::P1);
+        assert_eq!(VirtAddr(0x8000_1000).region(), Region::S0);
+        assert_eq!(VirtAddr(0xC000_0000).region(), Region::Reserved);
+        assert!(VirtAddr(0x8000_0000).is_system());
+        assert!(!VirtAddr(0x7FFF_FFFF).is_system());
+    }
+
+    #[test]
+    fn vpn_offset() {
+        let va = VirtAddr(0x4000_0A34);
+        assert_eq!(va.offset(), 0x34 | 0x200 & 0x1FF); // offset within 512B page
+        assert_eq!(va.offset(), 0x0234 & 0x1FF);
+        assert_eq!(va.vpn(), 0x4000_0A34 >> 9);
+        assert_eq!(va.region_vpn(), 0x0000_0A34 >> 9);
+    }
+
+    #[test]
+    fn alignment() {
+        assert!(!VirtAddr(0x1000).is_unaligned(4));
+        assert!(VirtAddr(0x1001).is_unaligned(4));
+        assert!(!VirtAddr(0x1001).is_unaligned(1));
+        assert!(!VirtAddr(0x1002).is_unaligned(2));
+        assert!(VirtAddr(0x1003).is_unaligned(2));
+        assert!(VirtAddr(0x1006).is_unaligned(4));
+    }
+
+    #[test]
+    fn phys_compose() {
+        let pa = PhysAddr::from_pfn(0x123, 0x45);
+        assert_eq!(pa.pfn(), 0x123);
+        assert_eq!(pa.0, (0x123 << 9) | 0x45);
+    }
+}

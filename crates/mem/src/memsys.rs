@@ -1,0 +1,465 @@
+//! The assembled memory system: TB + cache + write buffer + SBI + memory.
+//!
+//! This type exposes *small orthogonal operations* (TB probe, TB fill,
+//! timed cache read/write, untimed value access) rather than one monolithic
+//! `access` call, because on the 780 the orchestration lives in microcode:
+//! the EBOX probes the TB, takes a microtrap to fill it, retries the
+//! reference, and so on. The CPU crate drives these steps and charges each
+//! cycle to the proper µPC bucket.
+
+use crate::addr::{PhysAddr, VirtAddr};
+use crate::cache::{Cache, CacheConfig};
+use crate::pagetable::{PageTables, Pte, PteLocation, TranslateError};
+use crate::phys::PhysicalMemory;
+use crate::sbi::{Sbi, SbiConfig};
+use crate::stats::MemStats;
+use crate::tb::{Tb, TbConfig};
+use crate::writebuf::WriteBuffer;
+
+/// Which stream a reference belongs to (I-Fetch vs. EBOX data).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefClass {
+    /// Instruction-buffer fill.
+    IStream,
+    /// EBOX data reference.
+    DStream,
+}
+
+/// Full memory-system configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MemConfig {
+    /// Cache geometry.
+    pub cache: CacheConfig,
+    /// TB geometry.
+    pub tb: TbConfig,
+    /// SBI latencies.
+    pub sbi: SbiConfig,
+    /// Physical memory size in bytes.
+    pub mem_bytes: usize,
+}
+
+impl MemConfig {
+    /// The measured machines: 8 KB cache, 128-entry TB, 8 MB memory.
+    pub const VAX_780: MemConfig = MemConfig {
+        cache: CacheConfig::VAX_780,
+        tb: TbConfig::VAX_780,
+        sbi: SbiConfig::VAX_780,
+        mem_bytes: 8 << 20,
+    };
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig::VAX_780
+    }
+}
+
+/// Outcome of a timed data read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadOutcome {
+    /// Read-stall cycles suffered by the EBOX (0 on a cache hit).
+    pub stall: u64,
+    /// Whether the reference missed the cache.
+    pub miss: bool,
+}
+
+/// Outcome of an IB fill request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FillOutcome {
+    /// Cycle at which the longword is available to the IB.
+    pub avail_at: u64,
+    /// Whether the reference missed the cache.
+    pub miss: bool,
+}
+
+/// Outcome of a TB-miss service walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TbFill {
+    /// Number of PTE reads performed (1, or 2 if the process PTE's system
+    /// page also missed the TB).
+    pub pte_reads: u32,
+    /// Read-stall cycles incurred fetching PTEs through the cache.
+    pub stall: u64,
+    /// The translation now installed.
+    pub pfn: u32,
+}
+
+/// The complete memory subsystem of one simulated 11/780.
+#[derive(Debug, Clone)]
+pub struct MemorySystem {
+    phys: PhysicalMemory,
+    cache: Cache,
+    tb: Tb,
+    sbi: Sbi,
+    wb: WriteBuffer,
+    /// Current page-table base registers (swapped on context switch).
+    pub tables: PageTables,
+    /// Event counters.
+    pub stats: MemStats,
+}
+
+impl MemorySystem {
+    /// Build from a configuration.
+    pub fn new(config: MemConfig) -> MemorySystem {
+        MemorySystem {
+            phys: PhysicalMemory::new(config.mem_bytes),
+            cache: Cache::new(config.cache),
+            tb: Tb::new(config.tb),
+            sbi: Sbi::new(config.sbi),
+            wb: WriteBuffer::new(),
+            tables: PageTables::empty(),
+            stats: MemStats::new(),
+        }
+    }
+
+    /// The paper's machine.
+    pub fn new_780() -> MemorySystem {
+        MemorySystem::new(MemConfig::VAX_780)
+    }
+
+    /// Direct access to physical memory (loaders, kernel builders).
+    pub fn phys(&self) -> &PhysicalMemory {
+        &self.phys
+    }
+
+    /// Mutable access to physical memory.
+    pub fn phys_mut(&mut self) -> &mut PhysicalMemory {
+        &mut self.phys
+    }
+
+    /// The translation buffer (e.g. for LDPCTX to flush the process half).
+    pub fn tb_mut(&mut self) -> &mut Tb {
+        &mut self.tb
+    }
+
+    /// The cache (diagnostics and sweep experiments).
+    pub fn cache(&self) -> &Cache {
+        &self.cache
+    }
+
+    // ---- Translation ----
+
+    /// Probe the TB. `None` means TB miss (counted per `class`).
+    pub fn probe_tb(&mut self, va: VirtAddr, class: RefClass) -> Option<PhysAddr> {
+        match self.tb.probe(va) {
+            Some(pfn) => Some(PhysAddr::from_pfn(pfn, va.offset())),
+            None => {
+                match class {
+                    RefClass::IStream => self.stats.tb_miss_i += 1,
+                    RefClass::DStream => self.stats.tb_miss_d += 1,
+                }
+                None
+            }
+        }
+    }
+
+    /// Service a TB miss at cycle `now`: walk the page tables, reading PTEs
+    /// through the cache (with read stalls), and insert the translation.
+    ///
+    /// # Errors
+    /// Propagates [`TranslateError`] for length violations or invalid PTEs
+    /// (the workloads map all their pages up front, so an error here is a
+    /// simulation bug, not a page fault to handle).
+    pub fn tb_fill(&mut self, va: VirtAddr, now: u64) -> Result<TbFill, TranslateError> {
+        let mut pte_reads = 0;
+        let mut stall = 0;
+        let pte_pa = match self.tables.pte_location(va)? {
+            PteLocation::Phys(pa) => pa,
+            PteLocation::Virt(sys_va) => {
+                // The process PTE lives in system space; translate that.
+                let pfn = match self.tb.probe(sys_va) {
+                    Some(pfn) => pfn,
+                    None => {
+                        // Double miss: fetch the system PTE from the
+                        // SBR-based table (physical).
+                        let sys_pte_pa = match self.tables.pte_location(sys_va)? {
+                            PteLocation::Phys(pa) => pa,
+                            PteLocation::Virt(_) => unreachable!("system PTEs are physical"),
+                        };
+                        let (pte, s) = self.read_pte(sys_pte_pa, now + stall);
+                        pte_reads += 1;
+                        stall += s;
+                        if !pte.is_valid() {
+                            return Err(TranslateError::LengthViolation(sys_va));
+                        }
+                        self.tb.insert(sys_va, pte.pfn());
+                        pte.pfn()
+                    }
+                };
+                PhysAddr::from_pfn(pfn, sys_va.offset())
+            }
+        };
+        let (pte, s) = self.read_pte(pte_pa, now + stall);
+        pte_reads += 1;
+        stall += s;
+        if !pte.is_valid() {
+            return Err(TranslateError::LengthViolation(va));
+        }
+        self.tb.insert(va, pte.pfn());
+        Ok(TbFill {
+            pte_reads,
+            stall,
+            pfn: pte.pfn(),
+        })
+    }
+
+    fn read_pte(&mut self, pa: PhysAddr, now: u64) -> (Pte, u64) {
+        self.stats.pte_reads += 1;
+        let hit = self.cache.access_read(pa);
+        let stall = if hit {
+            0
+        } else {
+            self.stats.pte_read_misses += 1;
+            let done = self.sbi.read_miss(now);
+            done - now
+        };
+        self.stats.read_stall_cycles += stall;
+        (Pte(self.phys.read(pa, 4) as u32), stall)
+    }
+
+    /// Untimed full walk (loaders and diagnostics; touches nothing).
+    ///
+    /// # Errors
+    /// [`TranslateError`] on a length violation, reserved region, or invalid
+    /// PTE along the walk.
+    pub fn raw_translate(&self, va: VirtAddr) -> Result<PhysAddr, TranslateError> {
+        let pte_pa = match self.tables.pte_location(va)? {
+            PteLocation::Phys(pa) => pa,
+            PteLocation::Virt(sys_va) => {
+                let sys_pte_pa = match self.tables.pte_location(sys_va)? {
+                    PteLocation::Phys(pa) => pa,
+                    PteLocation::Virt(_) => unreachable!("system PTEs are physical"),
+                };
+                let sys_pte = Pte(self.phys.read(sys_pte_pa, 4) as u32);
+                if !sys_pte.is_valid() {
+                    return Err(TranslateError::LengthViolation(sys_va));
+                }
+                PhysAddr::from_pfn(sys_pte.pfn(), sys_va.offset())
+            }
+        };
+        let pte = Pte(self.phys.read(pte_pa, 4) as u32);
+        if !pte.is_valid() {
+            return Err(TranslateError::LengthViolation(va));
+        }
+        Ok(PhysAddr::from_pfn(pte.pfn(), va.offset()))
+    }
+
+    // ---- Timed data access (EBOX) ----
+
+    /// One D-stream read reference of up to 4 bytes that does not cross an
+    /// aligned-longword boundary. Returns stall cycles and hit/miss.
+    pub fn read_cycle(&mut self, pa: PhysAddr, now: u64) -> ReadOutcome {
+        self.stats.d_reads += 1;
+        let hit = self.cache.access_read(pa);
+        let stall = if hit {
+            0
+        } else {
+            self.stats.d_read_misses += 1;
+            let done = self.sbi.read_miss(now);
+            done - now
+        };
+        self.stats.read_stall_cycles += stall;
+        ReadOutcome { stall, miss: !hit }
+    }
+
+    /// One D-stream write reference. Write-through: data goes to memory via
+    /// the write buffer; the cache is updated only on a hit. Returns
+    /// write-stall cycles.
+    pub fn write_cycle(&mut self, pa: PhysAddr, now: u64) -> u64 {
+        self.stats.d_writes += 1;
+        if self.cache.access_write(pa) {
+            self.stats.d_write_hits += 1;
+        }
+        // The buffered write drains over the SBI.
+        let drain = self.sbi.config().write_cycles;
+        let stall = self.wb.issue(now, drain);
+        // Reserve the SBI for the drain window so concurrent read misses
+        // queue behind it.
+        self.sbi.write(now + stall);
+        self.stats.write_stall_cycles += stall;
+        stall
+    }
+
+    /// An IB longword fill request at cycle `now`. Does not stall the EBOX;
+    /// returns when the data arrives.
+    pub fn ifetch_cycle(&mut self, pa: PhysAddr, now: u64) -> FillOutcome {
+        self.stats.i_reads += 1;
+        let hit = self.cache.access_read(pa);
+        if hit {
+            FillOutcome {
+                avail_at: now + 1,
+                miss: false,
+            }
+        } else {
+            self.stats.i_read_misses += 1;
+            let done = self.sbi.read_miss(now);
+            FillOutcome {
+                avail_at: done,
+                miss: true,
+            }
+        }
+    }
+
+    // ---- Untimed value plumbing ----
+
+    /// Read a value from physical memory without touching timing state.
+    pub fn value_read(&self, pa: PhysAddr, size: u32) -> u64 {
+        self.phys.read(pa, size)
+    }
+
+    /// Write a value to physical memory without touching timing state.
+    pub fn value_write(&mut self, pa: PhysAddr, size: u32, v: u64) {
+        self.phys.write(pa, size, v);
+    }
+
+    /// Record an unaligned reference (the extra physical access is charged
+    /// by the CPU's alignment microcode).
+    pub fn note_unaligned(&mut self) {
+        self.stats.unaligned_refs += 1;
+    }
+
+    /// Write a PTE for `va` into the page tables (used by system builders
+    /// while constructing address spaces; untimed).
+    ///
+    /// # Panics
+    /// Panics if the page tables do not cover `va`.
+    pub fn install_pte(&mut self, va: VirtAddr, pte: Pte) {
+        let loc = self
+            .tables
+            .pte_location(va)
+            .expect("install_pte: page tables do not cover address");
+        let pa = match loc {
+            PteLocation::Phys(pa) => pa,
+            PteLocation::Virt(sys_va) => self
+                .raw_translate(sys_va)
+                .expect("install_pte: page-table page not mapped"),
+        };
+        self.phys.write(pa, 4, pte.0 as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::PAGE_SIZE;
+
+    /// Build a system with a simple address space: system pages 0..64 map
+    /// to physical 0x40000+, P0 pages 0..16 mapped via a table in system
+    /// page 0.
+    fn system() -> MemorySystem {
+        let mut ms = MemorySystem::new_780();
+        ms.tables = PageTables {
+            sbr: PhysAddr(0x10000),
+            slr: 64,
+            p0br: VirtAddr(0x8000_0000), // system page 0 holds P0 page table
+            p0lr: 16,
+            p1br: VirtAddr(0x8000_0200),
+            p1lr: 16,
+        };
+        // System pages are mapped 1:1 to 0x40000+.
+        for vpn in 0..64u32 {
+            let pfn = (0x40000 >> 9) + vpn;
+            ms.phys.write(PhysAddr(0x10000 + vpn * 4), 4, Pte::valid(pfn).0 as u64);
+        }
+        // P0 pages map to physical 0x80000+.
+        for vpn in 0..16u32 {
+            let pfn = (0x80000 >> 9) + vpn;
+            // P0 table lives at system VA 0x8000_0000 == phys 0x40000.
+            ms.phys.write(PhysAddr(0x40000 + vpn * 4), 4, Pte::valid(pfn).0 as u64);
+        }
+        ms
+    }
+
+    #[test]
+    fn raw_translate_system_and_process() {
+        let ms = system();
+        assert_eq!(
+            ms.raw_translate(VirtAddr(0x8000_0004)).unwrap(),
+            PhysAddr(0x40004)
+        );
+        assert_eq!(
+            ms.raw_translate(VirtAddr(0x0000_0204)).unwrap(),
+            PhysAddr(0x80204)
+        );
+    }
+
+    #[test]
+    fn tb_miss_then_hit() {
+        let mut ms = system();
+        let va = VirtAddr(0x200);
+        assert!(ms.probe_tb(va, RefClass::DStream).is_none());
+        assert_eq!(ms.stats.tb_miss_d, 1);
+        let fill = ms.tb_fill(va, 0).unwrap();
+        assert!(fill.pte_reads >= 1);
+        let pa = ms.probe_tb(va, RefClass::DStream).unwrap();
+        assert_eq!(pa, PhysAddr(0x80200));
+    }
+
+    #[test]
+    fn process_fill_may_double_miss() {
+        let mut ms = system();
+        // First process-page fill also misses on the system page holding
+        // the P0 table: two PTE reads.
+        let fill = ms.tb_fill(VirtAddr(0x200), 0).unwrap();
+        assert_eq!(fill.pte_reads, 2);
+        // Second fill to a different P0 page reuses the system translation.
+        let fill2 = ms.tb_fill(VirtAddr(0x400), 100).unwrap();
+        assert_eq!(fill2.pte_reads, 1);
+    }
+
+    #[test]
+    fn read_cycle_miss_then_hit() {
+        let mut ms = system();
+        let pa = PhysAddr(0x80200);
+        let r1 = ms.read_cycle(pa, 10);
+        assert!(r1.miss);
+        assert_eq!(r1.stall, 6);
+        let r2 = ms.read_cycle(pa, 20);
+        assert!(!r2.miss);
+        assert_eq!(r2.stall, 0);
+        assert_eq!(ms.stats.d_reads, 2);
+        assert_eq!(ms.stats.d_read_misses, 1);
+    }
+
+    #[test]
+    fn write_cycle_stalls_when_buffer_busy() {
+        let mut ms = system();
+        assert_eq!(ms.write_cycle(PhysAddr(0x80200), 10), 0);
+        let stall = ms.write_cycle(PhysAddr(0x80204), 12);
+        assert!(stall > 0, "back-to-back write must stall");
+        assert_eq!(ms.stats.d_writes, 2);
+        assert_eq!(ms.stats.write_stall_cycles, stall);
+    }
+
+    #[test]
+    fn write_through_updates_memory_not_cache() {
+        let mut ms = system();
+        let pa = PhysAddr(0x80300);
+        ms.write_cycle(pa, 0);
+        ms.value_write(pa, 4, 77);
+        assert!(!ms.cache().probe(pa), "write miss does not allocate");
+        assert_eq!(ms.value_read(pa, 4), 77);
+    }
+
+    #[test]
+    fn ifetch_timing() {
+        let mut ms = system();
+        let pa = PhysAddr(0x80000);
+        let f1 = ms.ifetch_cycle(pa, 10);
+        assert!(f1.miss);
+        assert_eq!(f1.avail_at, 16);
+        let f2 = ms.ifetch_cycle(pa, 20);
+        assert!(!f2.miss);
+        assert_eq!(f2.avail_at, 21);
+    }
+
+    #[test]
+    fn install_pte_and_translate() {
+        let mut ms = system();
+        ms.install_pte(VirtAddr(10 * PAGE_SIZE), Pte::valid(0x700));
+        assert_eq!(
+            ms.raw_translate(VirtAddr(10 * PAGE_SIZE + 4)).unwrap(),
+            PhysAddr::from_pfn(0x700, 4)
+        );
+    }
+}

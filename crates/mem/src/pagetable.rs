@@ -1,0 +1,207 @@
+//! VAX page-table entries and the page-table base registers.
+//!
+//! The VAX maps 512-byte pages through per-region page tables. The system
+//! region's table lives in *physical* memory (base register SBR); the two
+//! process regions' tables live in *system virtual* memory (base registers
+//! P0BR/P1BR), so servicing a process-page TB miss may itself require a
+//! system-space translation — faithfully modelled here because the paper's
+//! 21.6-cycle average TB-miss service time includes exactly such PTE
+//! fetches.
+//!
+//! Simplification vs. the real VAX: the P1 region is indexed from its base
+//! like P0 (the real architecture indexes P1 tables from the *end* of the
+//! region). This does not affect any measured statistic; it only changes
+//! where PTEs sit.
+
+use crate::addr::{PhysAddr, Region, VirtAddr};
+use std::fmt;
+
+/// A page-table entry: valid bit (bit 31) + page frame number (low 21 bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pte(pub u32);
+
+impl Pte {
+    /// A valid PTE mapping `pfn`.
+    pub const fn valid(pfn: u32) -> Pte {
+        Pte(0x8000_0000 | (pfn & 0x001F_FFFF))
+    }
+
+    /// An invalid (unmapped) PTE.
+    pub const fn invalid() -> Pte {
+        Pte(0)
+    }
+
+    /// The valid bit.
+    pub const fn is_valid(self) -> bool {
+        self.0 & 0x8000_0000 != 0
+    }
+
+    /// The page frame number.
+    pub const fn pfn(self) -> u32 {
+        self.0 & 0x001F_FFFF
+    }
+}
+
+impl fmt::Display for Pte {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_valid() {
+            write!(f, "PTE[pfn={:#x}]", self.pfn())
+        } else {
+            f.write_str("PTE[invalid]")
+        }
+    }
+}
+
+/// Where the PTE for a virtual address lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PteLocation {
+    /// System-region PTEs are at a physical address (SBR-based).
+    Phys(PhysAddr),
+    /// Process-region PTEs are at a system virtual address (PxBR-based).
+    Virt(VirtAddr),
+}
+
+/// Errors locating a translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TranslateError {
+    /// The page number exceeds the region's length register.
+    LengthViolation(VirtAddr),
+    /// The address is in the reserved region.
+    ReservedRegion(VirtAddr),
+}
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranslateError::LengthViolation(va) => write!(f, "length violation at {va}"),
+            TranslateError::ReservedRegion(va) => write!(f, "reserved region access at {va}"),
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+/// The page-table base/length register set of one process context plus the
+/// system region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageTables {
+    /// System page-table physical base.
+    pub sbr: PhysAddr,
+    /// System page-table length (pages).
+    pub slr: u32,
+    /// P0 page-table system-virtual base.
+    pub p0br: VirtAddr,
+    /// P0 length (pages).
+    pub p0lr: u32,
+    /// P1 page-table system-virtual base.
+    pub p1br: VirtAddr,
+    /// P1 length (pages).
+    pub p1lr: u32,
+}
+
+impl PageTables {
+    /// An empty register set (every access is a length violation).
+    pub const fn empty() -> PageTables {
+        PageTables {
+            sbr: PhysAddr(0),
+            slr: 0,
+            p0br: VirtAddr(0),
+            p0lr: 0,
+            p1br: VirtAddr(0),
+            p1lr: 0,
+        }
+    }
+
+    /// Locate the PTE that maps `va`.
+    ///
+    /// # Errors
+    /// [`TranslateError::LengthViolation`] if the page is beyond the region's
+    /// length register; [`TranslateError::ReservedRegion`] for region 3.
+    pub fn pte_location(&self, va: VirtAddr) -> Result<PteLocation, TranslateError> {
+        let vpn = va.region_vpn();
+        match va.region() {
+            Region::P0 => {
+                if vpn >= self.p0lr {
+                    return Err(TranslateError::LengthViolation(va));
+                }
+                Ok(PteLocation::Virt(self.p0br.add(vpn * 4)))
+            }
+            Region::P1 => {
+                if vpn >= self.p1lr {
+                    return Err(TranslateError::LengthViolation(va));
+                }
+                Ok(PteLocation::Virt(self.p1br.add(vpn * 4)))
+            }
+            Region::S0 => {
+                if vpn >= self.slr {
+                    return Err(TranslateError::LengthViolation(va));
+                }
+                Ok(PteLocation::Phys(self.sbr.add(vpn * 4)))
+            }
+            Region::Reserved => Err(TranslateError::ReservedRegion(va)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pte_bits() {
+        let pte = Pte::valid(0x1234);
+        assert!(pte.is_valid());
+        assert_eq!(pte.pfn(), 0x1234);
+        assert!(!Pte::invalid().is_valid());
+    }
+
+    fn tables() -> PageTables {
+        PageTables {
+            sbr: PhysAddr(0x10000),
+            slr: 256,
+            p0br: VirtAddr(0x8000_2000),
+            p0lr: 128,
+            p1br: VirtAddr(0x8000_4000),
+            p1lr: 64,
+        }
+    }
+
+    #[test]
+    fn locate_system_pte() {
+        let pt = tables();
+        // System page 3 -> SBR + 12, physical.
+        let va = VirtAddr(0x8000_0000 + 3 * 512);
+        assert_eq!(
+            pt.pte_location(va),
+            Ok(PteLocation::Phys(PhysAddr(0x10000 + 12)))
+        );
+    }
+
+    #[test]
+    fn locate_process_pte() {
+        let pt = tables();
+        let va = VirtAddr(5 * 512 + 17);
+        assert_eq!(
+            pt.pte_location(va),
+            Ok(PteLocation::Virt(VirtAddr(0x8000_2000 + 20)))
+        );
+        let va1 = VirtAddr(0x4000_0000 + 2 * 512);
+        assert_eq!(
+            pt.pte_location(va1),
+            Ok(PteLocation::Virt(VirtAddr(0x8000_4000 + 8)))
+        );
+    }
+
+    #[test]
+    fn violations() {
+        let pt = tables();
+        assert!(matches!(
+            pt.pte_location(VirtAddr(200 * 512)),
+            Err(TranslateError::LengthViolation(_))
+        ));
+        assert!(matches!(
+            pt.pte_location(VirtAddr(0xC000_0000)),
+            Err(TranslateError::ReservedRegion(_))
+        ));
+    }
+}

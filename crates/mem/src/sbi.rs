@@ -1,0 +1,105 @@
+//! The Synchronous Backplane Interconnect (SBI) timing model.
+//!
+//! Every cache read miss and every (write-through) data write crosses the
+//! SBI to the memory controllers. The SBI is a single shared resource: a
+//! transfer that arrives while another is in flight waits its turn. This is
+//! the mechanism that stretches read stalls beyond the 6-cycle simplest
+//! case and makes heavy write bursts (CALLS register saves) expensive.
+
+/// SBI timing parameters, in 200 ns cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SbiConfig {
+    /// Cycles from read-miss issue to data arrival, uncontended
+    /// (the paper's "6 cycles in the simplest case").
+    pub read_miss_cycles: u64,
+    /// Cycles a write occupies the path to memory, uncontended.
+    pub write_cycles: u64,
+}
+
+impl SbiConfig {
+    /// The 780 values.
+    pub const VAX_780: SbiConfig = SbiConfig {
+        read_miss_cycles: 6,
+        write_cycles: 6,
+    };
+}
+
+/// The SBI occupancy state.
+#[derive(Debug, Clone, Copy)]
+pub struct Sbi {
+    config: SbiConfig,
+    free_at: u64,
+}
+
+impl Sbi {
+    /// A new idle SBI.
+    pub fn new(config: SbiConfig) -> Sbi {
+        Sbi { config, free_at: 0 }
+    }
+
+    /// The 780's SBI.
+    pub fn new_780() -> Sbi {
+        Sbi::new(SbiConfig::VAX_780)
+    }
+
+    /// The configured parameters.
+    pub fn config(&self) -> SbiConfig {
+        self.config
+    }
+
+    /// Begin a read-miss transfer at cycle `now`; returns the cycle at which
+    /// the data arrives.
+    pub fn read_miss(&mut self, now: u64) -> u64 {
+        let start = self.free_at.max(now);
+        let done = start + self.config.read_miss_cycles;
+        self.free_at = done;
+        done
+    }
+
+    /// Begin a write drain at cycle `now`; returns the cycle at which the
+    /// write completes in memory.
+    pub fn write(&mut self, now: u64) -> u64 {
+        let start = self.free_at.max(now);
+        let done = start + self.config.write_cycles;
+        self.free_at = done;
+        done
+    }
+
+    /// Cycle at which the SBI next goes idle.
+    pub fn free_at(&self) -> u64 {
+        self.free_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncontended_read() {
+        let mut sbi = Sbi::new_780();
+        assert_eq!(sbi.read_miss(100), 106);
+    }
+
+    #[test]
+    fn contention_serializes() {
+        let mut sbi = Sbi::new_780();
+        assert_eq!(sbi.read_miss(100), 106);
+        // A second miss issued at 102 waits for the bus.
+        assert_eq!(sbi.read_miss(102), 112);
+    }
+
+    #[test]
+    fn write_then_read_contend() {
+        let mut sbi = Sbi::new_780();
+        assert_eq!(sbi.write(10), 16);
+        assert_eq!(sbi.read_miss(12), 22);
+    }
+
+    #[test]
+    fn idle_gap_resets() {
+        let mut sbi = Sbi::new_780();
+        sbi.write(0);
+        assert_eq!(sbi.read_miss(50), 56);
+    }
+}

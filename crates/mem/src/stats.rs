@@ -1,0 +1,84 @@
+//! Memory-system event counters (the implementation events of paper §4).
+
+/// Counts of memory-system events over a measurement interval.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// D-stream read references (physical, after unaligned doubling).
+    pub d_reads: u64,
+    /// D-stream read cache misses.
+    pub d_read_misses: u64,
+    /// D-stream writes.
+    pub d_writes: u64,
+    /// D-stream writes that hit (and updated) the cache.
+    pub d_write_hits: u64,
+    /// I-stream (IB) longword references.
+    pub i_reads: u64,
+    /// I-stream cache misses.
+    pub i_read_misses: u64,
+    /// TB misses triggered by D-stream references.
+    pub tb_miss_d: u64,
+    /// TB misses triggered by I-stream references.
+    pub tb_miss_i: u64,
+    /// References that crossed an aligned-longword boundary (each costs an
+    /// extra physical reference).
+    pub unaligned_refs: u64,
+    /// PTE reads performed by TB-miss service.
+    pub pte_reads: u64,
+    /// PTE reads that missed the cache.
+    pub pte_read_misses: u64,
+    /// Total read-stall cycles suffered by the EBOX.
+    pub read_stall_cycles: u64,
+    /// Total write-stall cycles suffered by the EBOX.
+    pub write_stall_cycles: u64,
+}
+
+impl MemStats {
+    /// Zeroed counters.
+    pub fn new() -> MemStats {
+        MemStats::default()
+    }
+
+    /// Reset all counters (monitor `clear`).
+    pub fn clear(&mut self) {
+        *self = MemStats::default();
+    }
+
+    /// Total cache read misses (I + D + PTE).
+    pub fn total_read_misses(&self) -> u64 {
+        self.d_read_misses + self.i_read_misses + self.pte_read_misses
+    }
+
+    /// Total TB misses.
+    pub fn total_tb_misses(&self) -> u64 {
+        self.tb_miss_d + self.tb_miss_i
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let stats = MemStats {
+            d_read_misses: 3,
+            i_read_misses: 4,
+            pte_read_misses: 1,
+            tb_miss_d: 2,
+            tb_miss_i: 5,
+            ..MemStats::default()
+        };
+        assert_eq!(stats.total_read_misses(), 8);
+        assert_eq!(stats.total_tb_misses(), 7);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut stats = MemStats {
+            d_reads: 10,
+            ..MemStats::default()
+        };
+        stats.clear();
+        assert_eq!(stats, MemStats::default());
+    }
+}

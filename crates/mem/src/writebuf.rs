@@ -1,0 +1,81 @@
+//! The one-longword write buffer.
+//!
+//! The 780 write-through scheme sends every data write to memory over the
+//! SBI, but a 4-byte buffer lets the EBOX continue after one cycle. If a
+//! second write is issued before the first completes (6 cycles in the
+//! simplest case), the EBOX takes a *write stall* until the buffer frees.
+
+/// The write buffer's timing state.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WriteBuffer {
+    /// Cycle at which the buffered write will have drained to memory.
+    busy_until: u64,
+}
+
+impl WriteBuffer {
+    /// An empty buffer.
+    pub fn new() -> WriteBuffer {
+        WriteBuffer::default()
+    }
+
+    /// Issue a write at cycle `now`; the drain occupies the buffer until
+    /// `drain_done`. Returns the number of *write-stall* cycles suffered
+    /// before the write could be accepted.
+    pub fn issue(&mut self, now: u64, drain_time: u64) -> u64 {
+        let stall = self.busy_until.saturating_sub(now);
+        let accept = now + stall;
+        self.busy_until = accept + drain_time;
+        stall
+    }
+
+    /// Cycle at which the buffer next frees.
+    pub fn busy_until(&self) -> u64 {
+        self.busy_until
+    }
+
+    /// True if a write issued at `now` would stall.
+    pub fn would_stall(&self, now: u64) -> bool {
+        self.busy_until > now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_stall_when_idle() {
+        let mut wb = WriteBuffer::new();
+        assert_eq!(wb.issue(100, 6), 0);
+        assert_eq!(wb.busy_until(), 106);
+    }
+
+    #[test]
+    fn back_to_back_writes_stall() {
+        let mut wb = WriteBuffer::new();
+        wb.issue(100, 6);
+        // Second write 2 cycles later must wait 4.
+        assert_eq!(wb.issue(102, 6), 4);
+        assert_eq!(wb.busy_until(), 112);
+    }
+
+    #[test]
+    fn spaced_writes_do_not_stall() {
+        let mut wb = WriteBuffer::new();
+        wb.issue(100, 6);
+        assert!(!wb.would_stall(106));
+        assert_eq!(wb.issue(106, 6), 0);
+    }
+
+    #[test]
+    fn every_sixth_cycle_is_free() {
+        // The paper notes string microcode writes only every 6th cycle to
+        // avoid write stalls entirely.
+        let mut wb = WriteBuffer::new();
+        let mut total = 0;
+        for i in 0..10 {
+            total += wb.issue(i * 6, 6);
+        }
+        assert_eq!(total, 0);
+    }
+}

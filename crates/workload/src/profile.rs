@@ -1,0 +1,303 @@
+//! Workload profiles: the calibration knobs.
+
+/// The five measured workloads of the paper (§2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// Live timesharing, research group (~15 users): editing, program
+    /// development, mail, performance data analysis.
+    TimesharingResearch,
+    /// Live timesharing, CPU-development group (~30 users): general
+    /// timesharing plus circuit simulation and microcode development.
+    TimesharingCpuDev,
+    /// RTE, educational environment (40 simulated users): program
+    /// development in several languages, file manipulation.
+    Educational,
+    /// RTE, scientific/engineering (40 simulated users): scientific
+    /// computation and program development.
+    SciEng,
+    /// RTE, commercial transaction processing (32 simulated users):
+    /// database inquiries and updates.
+    Commercial,
+}
+
+impl Workload {
+    /// All five, in the paper's order.
+    pub const ALL: [Workload; 5] = [
+        Workload::TimesharingResearch,
+        Workload::TimesharingCpuDev,
+        Workload::Educational,
+        Workload::SciEng,
+        Workload::Commercial,
+    ];
+
+    /// Human-readable name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Workload::TimesharingResearch => "timesharing (research)",
+            Workload::TimesharingCpuDev => "timesharing (CPU development)",
+            Workload::Educational => "RTE educational",
+            Workload::SciEng => "RTE scientific/engineering",
+            Workload::Commercial => "RTE commercial",
+        }
+    }
+
+    /// The calibrated profile for this workload.
+    pub fn profile(self) -> WorkloadProfile {
+        let mut p = WorkloadProfile::baseline();
+        match self {
+            Workload::TimesharingResearch => {}
+            Workload::TimesharingCpuDev => {
+                // Heavier compute (circuit simulation): more float and
+                // field work, slightly larger working sets.
+                p.w_float = 9.5;
+                p.w_field_op = 3.2;
+                p.ws_walk_bytes = 128 * 1024;
+            }
+            Workload::Educational => {
+                // Program development: more character handling, calls.
+                p.w_char = 1.2;
+                p.w_proc_call = 5.0;
+                p.routines = 24;
+            }
+            Workload::SciEng => {
+                // Scientific computation: float-dominated.
+                p.w_float = 14.0;
+                p.w_mov = 28.0;
+                p.w_field_op = 2.0;
+                p.loop_iters = 12;
+            }
+            Workload::Commercial => {
+                // Transactions: strings, decimal, queues, system services.
+                p.w_char = 2.6;
+                p.w_decimal = 0.12;
+                p.w_system = 2.2;
+                p.w_float = 3.0;
+                p.string_len_min = 20;
+                p.string_len_max = 60;
+            }
+        }
+        p
+    }
+}
+
+/// Generator-level knobs. Weights (`w_*`) are relative frequencies of
+/// *statement kinds* in generated code; each statement expands to one or
+/// more instructions (e.g. a conditional branch carries its test).
+#[derive(Debug, Clone)]
+pub struct WorkloadProfile {
+    // ---- statement-kind weights ----
+    /// Plain moves (MOVx/MOVZx/MOVAx/PUSHL).
+    pub w_mov: f64,
+    /// Integer add/sub/inc/dec/clr/convert.
+    pub w_arith: f64,
+    /// Boolean ops (BIC/BIS/XOR) and shifts.
+    pub w_bool: f64,
+    /// Test/compare without a branch.
+    pub w_test: f64,
+    /// Conditional branch (test + Bxx).
+    pub w_cond_branch: f64,
+    /// Low-bit test branches (BLBS/BLBC).
+    pub w_lowbit: f64,
+    /// Bit branches (BBS/BBC/BBxS/BBxC).
+    pub w_bit_branch: f64,
+    /// Case branch with a small table.
+    pub w_case: f64,
+    /// Leaf subroutine call (BSBW/JSB … RSB).
+    pub w_sub_call: f64,
+    /// Procedure call (CALLS … RET).
+    pub w_proc_call: f64,
+    /// PUSHR/POPR pair.
+    pub w_pushr: f64,
+    /// Bit-field operations (EXTV/EXTZV/INSV/FFS/CMPV).
+    pub w_field_op: f64,
+    /// Floating point and integer multiply/divide.
+    pub w_float: f64,
+    /// System statements (CHMK, INSQUE/REMQUE, PROBER, MFPR).
+    pub w_system: f64,
+    /// Character-string instructions.
+    pub w_char: f64,
+    /// Packed-decimal instructions.
+    pub w_decimal: f64,
+    /// Small counted inner loop (SOBGTR over 2-3 statements).
+    pub w_inner_loop: f64,
+
+    // ---- structure ----
+    /// Routines per program (levels of a call DAG).
+    pub routines: u32,
+    /// Statements per routine body (one loop around the body).
+    pub body_statements: u32,
+    /// Loop iterations (the paper infers ~10 from loop-branch taken rates).
+    pub loop_iters: u32,
+
+    // ---- operand addressing-mode mix (per mille, first specifier) ----
+    /// Register mode weight.
+    pub m1_register: u32,
+    /// Short literal weight.
+    pub m1_literal: u32,
+    /// Immediate weight.
+    pub m1_immediate: u32,
+    /// Displacement weight.
+    pub m1_disp: u32,
+    /// Register-deferred weight.
+    pub m1_deferred: u32,
+    /// Autoincrement/autodecrement weight.
+    pub m1_autoinc: u32,
+    /// Displacement-deferred weight.
+    pub m1_disp_def: u32,
+    /// Absolute weight.
+    pub m1_absolute: u32,
+    /// Per-mille of memory specifiers that carry an index prefix (spec 1).
+    pub m1_indexed: u32,
+
+    /// Register mode weight (specs 2–6).
+    pub m2_register: u32,
+    /// Short literal weight (specs 2–6).
+    pub m2_literal: u32,
+    /// Immediate weight (specs 2–6).
+    pub m2_immediate: u32,
+    /// Displacement weight (specs 2–6).
+    pub m2_disp: u32,
+    /// Register-deferred weight (specs 2–6).
+    pub m2_deferred: u32,
+    /// Autoincrement/autodecrement weight (specs 2–6).
+    pub m2_autoinc: u32,
+    /// Displacement-deferred weight (specs 2–6).
+    pub m2_disp_def: u32,
+    /// Absolute weight (specs 2–6).
+    pub m2_absolute: u32,
+    /// Indexed per-mille (specs 2–6).
+    pub m2_indexed: u32,
+
+    // ---- data behaviour ----
+    /// Bytes of the hot scratch working set (good locality).
+    pub ws_hot_bytes: u32,
+    /// Bytes of the cold region walked with a stride (poor locality).
+    pub ws_walk_bytes: u32,
+    /// Stride of the cold walk.
+    pub walk_stride: u32,
+    /// Character-string length range.
+    pub string_len_min: u32,
+    /// Character-string length range.
+    pub string_len_max: u32,
+    /// Packed-decimal digit count range.
+    pub decimal_digits_min: u32,
+    /// Packed-decimal digit count range.
+    pub decimal_digits_max: u32,
+    /// Fraction (per mille) of data references that are unaligned.
+    pub unaligned_per_mille: u32,
+}
+
+impl WorkloadProfile {
+    /// The baseline profile, calibrated against the paper's composite
+    /// workload (Tables 1–5).
+    pub fn baseline() -> WorkloadProfile {
+        WorkloadProfile {
+            // Weights sum to ~100 and approximate Table 1 after accounting
+            // for kernel activity and structural instructions.
+            w_mov: 18.0,
+            w_arith: 10.0,
+            w_bool: 4.0,
+            w_test: 3.5,
+            w_cond_branch: 46.0,
+            w_lowbit: 6.0,
+            w_bit_branch: 12.0,
+            w_case: 1.6,
+            w_sub_call: 7.0, // each expands to BSB…RSB (2 instructions)
+            w_proc_call: 5.5, // each expands to CALLS…RET (2 instructions)
+            w_pushr: 0.7,
+            w_field_op: 9.0,
+            w_float: 9.5,
+            w_system: 2.0,
+            w_char: 1.1,
+            w_decimal: 0.07,
+            w_inner_loop: 1.2,
+
+            routines: 22,
+            body_statements: 40,
+            loop_iters: 10,
+
+            // Table 4, SPEC1 column (per mille).
+            m1_register: 287,
+            m1_literal: 211,
+            m1_immediate: 32,
+            m1_disp: 250,
+            m1_deferred: 90,
+            m1_autoinc: 50,
+            m1_disp_def: 50,
+            m1_absolute: 10,
+            m1_indexed: 340,
+
+            // Table 4, SPEC2-6 column (per mille).
+            m2_register: 526,
+            m2_literal: 108,
+            m2_immediate: 17,
+            m2_disp: 230,
+            m2_deferred: 60,
+            m2_autoinc: 30,
+            m2_disp_def: 20,
+            m2_absolute: 9,
+            m2_indexed: 170,
+
+            ws_hot_bytes: 3 * 1024,
+            ws_walk_bytes: 96 * 1024,
+            walk_stride: 516,
+            string_len_min: 24,
+            string_len_max: 56,
+            decimal_digits_min: 8,
+            decimal_digits_max: 24,
+            unaligned_per_mille: 16,
+        }
+    }
+
+    /// Total statement weight.
+    pub fn total_weight(&self) -> f64 {
+        self.w_mov
+            + self.w_arith
+            + self.w_bool
+            + self.w_test
+            + self.w_cond_branch
+            + self.w_lowbit
+            + self.w_bit_branch
+            + self.w_case
+            + self.w_sub_call
+            + self.w_proc_call
+            + self.w_pushr
+            + self.w_field_op
+            + self.w_float
+            + self.w_system
+            + self.w_char
+            + self.w_decimal
+            + self.w_inner_loop
+    }
+}
+
+impl Default for WorkloadProfile {
+    fn default() -> Self {
+        WorkloadProfile::baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_weights_near_100() {
+        let p = WorkloadProfile::baseline();
+        let t = p.total_weight();
+        assert!((90.0..160.0).contains(&t), "total weight {t}");
+    }
+
+    #[test]
+    fn profiles_differ() {
+        let sci = Workload::SciEng.profile();
+        let com = Workload::Commercial.profile();
+        assert!(sci.w_float > com.w_float);
+        assert!(com.w_decimal > sci.w_decimal);
+        for w in Workload::ALL {
+            assert!(!w.name().is_empty());
+            let p = w.profile();
+            assert!(p.total_weight() > 50.0);
+        }
+    }
+}

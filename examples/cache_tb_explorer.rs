@@ -1,0 +1,60 @@
+//! Sweep cache and TB geometries and watch the miss rates and CPI move —
+//! the kind of design study the paper's data was collected to support
+//! ("The context-switch figure is useful in setting the flush interval in
+//! cache and translation buffer simulations").
+//!
+//! ```sh
+//! cargo run --release --example cache_tb_explorer
+//! ```
+
+use vax780::{SystemBuilder, SystemConfig};
+use vax_mem::{CacheConfig, TbConfig};
+use vax_workload::{generate_process, Workload};
+
+fn run(config: SystemConfig, label: &str) {
+    let profile = Workload::TimesharingResearch.profile();
+    let mut builder = SystemBuilder::new(config);
+    for i in 0..4 {
+        builder.add_process(generate_process(&profile, 100 + i));
+    }
+    let mut system = builder.build();
+    let m = system.measure(10_000, 120_000);
+    let n = m.instructions().max(1) as f64;
+    println!(
+        "{label:<28} CPI {:>5.2}  cache-miss/instr {:>6.3}  TB-miss/instr {:>6.4}",
+        m.cpi(),
+        (m.mem_stats.d_read_misses + m.mem_stats.i_read_misses + m.mem_stats.pte_read_misses)
+            as f64
+            / n,
+        m.mem_stats.total_tb_misses() as f64 / n,
+    );
+}
+
+fn main() {
+    println!("== cache size sweep (2-way, 8-byte blocks) ==");
+    for kb in [2usize, 4, 8, 16, 32] {
+        let mut config = SystemConfig::default();
+        config.mem.cache = CacheConfig {
+            size_bytes: kb * 1024,
+            ways: 2,
+            block_bytes: 8,
+        };
+        run(config, &format!("cache {kb:>2} KB"));
+    }
+
+    println!();
+    println!("== TB size sweep (2-way, split halves) ==");
+    for entries in [32usize, 64, 128, 256, 512] {
+        let mut config = SystemConfig::default();
+        config.mem.tb = TbConfig {
+            entries,
+            ways: 2,
+            split: true,
+        };
+        run(config, &format!("TB {entries:>3} entries"));
+    }
+
+    println!();
+    println!("== the 11/780 point ==");
+    run(SystemConfig::default(), "8 KB cache / 128-entry TB");
+}

@@ -1,0 +1,31 @@
+//! The paper's headline experiment in miniature: run the five calibrated
+//! workloads, merge their µPC histograms into the composite, and print
+//! every table.
+//!
+//! ```sh
+//! cargo run --release --example timesharing_characterization
+//! ```
+//! (Use `cargo run --bin reproduce -p vax-bench` for the full-length runs.)
+
+use vax_analysis::{tables, Analysis};
+use vax_workload::{build_system, Workload};
+
+fn main() {
+    let per_workload = 100_000u64;
+    let mut composite = None;
+    let mut cs = None;
+    for (i, &w) in Workload::ALL.iter().enumerate() {
+        let mut system = build_system(w, 4, 7 + i as u64);
+        let m = system.measure(per_workload / 10, per_workload);
+        eprintln!("{:<34} CPI {:.2}", w.name(), m.cpi());
+        match &mut composite {
+            None => {
+                composite = Some(m);
+                cs = Some(system.cpu.cs.clone());
+            }
+            Some(c) => c.merge(&m),
+        }
+    }
+    let a = Analysis::new(cs.as_ref().unwrap(), &composite.unwrap());
+    println!("{}", tables::print_all_tables(&a));
+}

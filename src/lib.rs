@@ -1,0 +1,18 @@
+//! # vax780-repro
+//!
+//! Umbrella crate for the reproduction of Emer & Clark, *A Characterization
+//! of Processor Performance in the VAX-11/780* (ISCA 1984). Re-exports the
+//! workspace crates and hosts the examples and cross-crate integration
+//! tests.
+//!
+//! See `README.md` for the quickstart, `DESIGN.md` for the system
+//! inventory, and `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use upc_monitor;
+pub use vax780;
+pub use vax_analysis;
+pub use vax_arch;
+pub use vax_asm;
+pub use vax_cpu;
+pub use vax_mem;
+pub use vax_workload;

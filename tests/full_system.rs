@@ -1,0 +1,141 @@
+//! Cross-crate integration tests: full-system runs checked end to end.
+
+use vax780::{ProcessSpec, SystemBuilder, SystemConfig};
+use vax_analysis::Analysis;
+use vax_asm::parse;
+use vax_workload::{build_system, generate_process, Workload, WorkloadProfile};
+
+fn text_system(source: &str) -> vax780::System {
+    let image = parse(source, 0x200).expect("assembly failed");
+    let mut b = SystemBuilder::new(SystemConfig::default());
+    b.add_process(ProcessSpec::new(image, "entry").with_bss_pages(32));
+    b.build()
+}
+
+#[test]
+fn assembled_program_computes_correctly() {
+    // Sum 1..=10 into R0, store at absolute 4096, halt-free loop after.
+    let src = r#"
+        entry:  CLRL R0
+                MOVL #10, R2
+        sum:    ADDL2 R2, R0
+                SOBGTR R2, sum
+                MOVL R0, @#4096
+        spin:   BRB spin
+    "#;
+    let mut sys = text_system(src);
+    sys.run_instructions(5_000);
+    let pa = sys
+        .cpu
+        .mem
+        .raw_translate(vax_mem::VirtAddr(4096))
+        .unwrap();
+    assert_eq!(sys.cpu.mem.value_read(pa, 4), 55);
+}
+
+#[test]
+fn histogram_conserves_every_cycle() {
+    let mut sys = build_system(Workload::TimesharingResearch, 3, 11);
+    let m = sys.measure(5_000, 60_000);
+    let a = Analysis::new(&sys.cpu.cs, &m);
+    a.check_conservation().unwrap();
+    // Row/column sums equal the grand total.
+    let rows: f64 = upc_monitor::Activity::ALL
+        .iter()
+        .map(|&x| a.row_total(x))
+        .sum();
+    let cols: f64 = upc_monitor::CycleClass::ALL
+        .iter()
+        .map(|&c| a.col_total(c))
+        .sum();
+    assert!((rows - a.cpi()).abs() < 1e-9);
+    assert!((cols - a.cpi()).abs() < 1e-9);
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let run = || {
+        let mut sys = build_system(Workload::Educational, 3, 5);
+        let m = sys.measure(2_000, 30_000);
+        (m.cycles, m.cpu_stats.instructions, m.mem_stats.d_reads)
+    };
+    assert_eq!(run(), run(), "simulation must be exactly reproducible");
+}
+
+#[test]
+fn context_switch_flushes_tb_process_half() {
+    let mut sys = build_system(Workload::TimesharingResearch, 3, 9);
+    let m = sys.measure(5_000, 150_000);
+    assert!(m.cpu_stats.context_switches >= 1, "switches must happen");
+    // Every switch forces process-half TB refills: misses scale with
+    // switches at minimum.
+    assert!(
+        m.mem_stats.total_tb_misses() > m.cpu_stats.context_switches * 8,
+        "TB misses {} vs switches {}",
+        m.mem_stats.total_tb_misses(),
+        m.cpu_stats.context_switches
+    );
+}
+
+#[test]
+fn composite_statistics_land_near_paper_shape() {
+    // A short composite: assert loose bands, not exact values — the point
+    // is that the shape of the characterization holds even on small runs.
+    let mut composite = None;
+    let mut cs = None;
+    for (i, &w) in Workload::ALL.iter().enumerate() {
+        let mut sys = build_system(w, 3, 21 + i as u64);
+        let m = sys.measure(5_000, 60_000);
+        match &mut composite {
+            None => {
+                composite = Some(m);
+                cs = Some(sys.cpu.cs.clone());
+            }
+            Some(c) => c.merge(&m),
+        }
+    }
+    let a = Analysis::new(cs.as_ref().unwrap(), &composite.unwrap());
+    // CPI in the high single digits to low tens.
+    assert!(a.cpi() > 5.0 && a.cpi() < 16.0, "CPI {}", a.cpi());
+    // SIMPLE dominates the mix, as in Table 1.
+    let groups = a.group_percent();
+    assert!(groups[0] > 75.0 && groups[0] < 95.0, "SIMPLE {}", groups[0]);
+    // Decode row is exactly one compute cycle per instruction.
+    let decode = a.cell(upc_monitor::Activity::Decode, upc_monitor::CycleClass::Compute);
+    assert!((decode - 1.0).abs() < 1e-9);
+    // Reads outnumber writes roughly two to one (§3.3.1).
+    let reads = a.col_total(upc_monitor::CycleClass::Read);
+    let writes = a.col_total(upc_monitor::CycleClass::Write);
+    assert!(reads / writes > 1.0 && reads / writes < 3.5, "{reads}/{writes}");
+}
+
+#[test]
+fn per_workload_profiles_differ_in_character() {
+    let cpi_of = |w: Workload, seed| {
+        let mut sys = build_system(w, 3, seed);
+        let m = sys.measure(5_000, 60_000);
+        let a = Analysis::new(&sys.cpu.cs, &m);
+        (a.group_percent(), a.cpi())
+    };
+    let (sci, _) = cpi_of(Workload::SciEng, 31);
+    let (com, _) = cpi_of(Workload::Commercial, 32);
+    // FLOAT leads in sci/eng, CHARACTER+DECIMAL in commercial.
+    assert!(
+        sci[vax_arch::OpcodeGroup::Float.index()] > com[vax_arch::OpcodeGroup::Float.index()]
+    );
+    assert!(
+        com[vax_arch::OpcodeGroup::Character.index()]
+            > sci[vax_arch::OpcodeGroup::Character.index()]
+    );
+}
+
+#[test]
+fn generated_workloads_never_fault_long_run() {
+    let profile = WorkloadProfile::baseline();
+    let mut b = SystemBuilder::new(SystemConfig::default());
+    for i in 0..4 {
+        b.add_process(generate_process(&profile, 1000 + i));
+    }
+    let mut sys = b.build();
+    assert!(sys.run_instructions(400_000), "must not halt or fault");
+}

@@ -1,0 +1,75 @@
+//! Property tests over the measurement pipeline.
+
+use proptest::prelude::*;
+use upc_monitor::{Histogram, MicroPc, Plane};
+
+proptest! {
+    #[test]
+    fn histogram_totals_match_recordings(
+        events in proptest::collection::vec((0u16..16384, any::<bool>(), 1u64..100), 0..200)
+    ) {
+        let mut h = Histogram::new_16k();
+        h.start();
+        let mut expect = 0u64;
+        for (upc, stalled, n) in &events {
+            let plane = if *stalled { Plane::Stalled } else { Plane::Normal };
+            h.record_n(MicroPc(*upc), plane, *n);
+            expect += n;
+        }
+        prop_assert_eq!(h.total_cycles(), expect);
+        prop_assert_eq!(
+            h.plane_total(Plane::Normal) + h.plane_total(Plane::Stalled),
+            expect
+        );
+    }
+
+    #[test]
+    fn merge_is_additive(
+        a in proptest::collection::vec((0u16..16384, 1u64..50), 0..50),
+        b in proptest::collection::vec((0u16..16384, 1u64..50), 0..50),
+    ) {
+        let mut ha = Histogram::new_16k();
+        let mut hb = Histogram::new_16k();
+        ha.start();
+        hb.start();
+        for (upc, n) in &a {
+            ha.record_n(MicroPc(*upc), Plane::Normal, *n);
+        }
+        for (upc, n) in &b {
+            hb.record_n(MicroPc(*upc), Plane::Normal, *n);
+        }
+        let ta = ha.total_cycles();
+        let tb = hb.total_cycles();
+        ha.merge(&hb);
+        prop_assert_eq!(ha.total_cycles(), ta + tb);
+    }
+
+    #[test]
+    fn assembler_roundtrips_through_decoder(
+        iters in 1u32..60,
+        disp in 0i32..120,
+    ) {
+        use vax_arch::{decode, Opcode, Reg};
+        use vax_asm::{Asm, Operand};
+        let mut asm = Asm::new(0x200);
+        asm.label("entry");
+        asm.insn(Opcode::Movl, &[Operand::Imm(iters), Operand::Reg(Reg::new(2))], None);
+        asm.label("l");
+        asm.insn(
+            Opcode::Addl2,
+            &[Operand::Lit(1), Operand::Disp(disp * 4, Reg::new(6))],
+            None,
+        );
+        asm.insn(Opcode::Sobgtr, &[Operand::Reg(Reg::new(2))], Some("l"));
+        let img = asm.assemble().unwrap();
+        // Every instruction in the image decodes cleanly in sequence.
+        let mut at = 0usize;
+        let mut count = 0;
+        while at < img.bytes.len() {
+            let insn = decode(&img.bytes[at..]).unwrap();
+            at += insn.len as usize;
+            count += 1;
+        }
+        prop_assert_eq!(count, 3);
+    }
+}
