@@ -10,8 +10,14 @@
 //! yield event frequencies (specifier modes, TB misses).
 
 pub mod analysis;
+pub mod export;
+pub mod json;
 pub mod paper;
 pub mod tables;
+pub mod validate;
 
 pub use analysis::Analysis;
+pub use export::{measurement_json, run_artifacts, tables_json, timeseries_json, RunManifest};
+pub use json::Json;
 pub use tables::print_all_tables;
+pub use validate::{validate, ValidationCheck, ValidationReport};

@@ -94,8 +94,8 @@ pub const TABLE8_CPI: f64 = 10.593;
 /// Int/Except, Mem Mgmt, Abort). Spec1/Spec2-6 are reconstructed from the
 /// grand total (OCR-approximate).
 pub const TABLE8_ROW_TOTALS: [f64; 14] = [
-    1.613, 1.944, 1.392, 0.226, 0.977, 0.600, 0.302, 1.458, 0.522, 0.506, 0.031, 0.071,
-    0.824, 0.127,
+    1.613, 1.944, 1.392, 0.226, 0.977, 0.600, 0.302, 1.458, 0.522, 0.506, 0.031, 0.071, 0.824,
+    0.127,
 ];
 
 /// Table 8 Decode row detail: (compute, ib-stall, total).

@@ -88,8 +88,16 @@ pub fn table3(a: &Analysis) -> String {
     let n = a.instructions.max(1) as f64;
     line(&mut out, "Table 3 — Specifiers per Average Instruction");
     let rows = [
-        ("First specifiers", a.spec1.total() as f64 / n, paper::TABLE3_SPEC1),
-        ("Other specifiers", a.spec26.total() as f64 / n, paper::TABLE3_SPEC26),
+        (
+            "First specifiers",
+            a.spec1.total() as f64 / n,
+            paper::TABLE3_SPEC1,
+        ),
+        (
+            "Other specifiers",
+            a.spec26.total() as f64 / n,
+            paper::TABLE3_SPEC26,
+        ),
         (
             "Branch displacements",
             a.m.cpu_stats.branch_disps as f64 / n,
@@ -106,8 +114,14 @@ pub fn table3(a: &Analysis) -> String {
 /// Table 4: operand specifier mode distribution.
 pub fn table4(a: &Analysis) -> String {
     let mut out = String::new();
-    line(&mut out, "Table 4 — Operand Specifier Distribution (percent)");
-    line(&mut out, "mode                    SPEC1  SPEC2-6    total    (paper total where legible)");
+    line(
+        &mut out,
+        "Table 4 — Operand Specifier Distribution (percent)",
+    );
+    line(
+        &mut out,
+        "mode                    SPEC1  SPEC2-6    total    (paper total where legible)",
+    );
     let t1 = a.spec1.total().max(1) as f64;
     let t2 = a.spec26.total().max(1) as f64;
     let tt = (a.spec1.total() + a.spec26.total()).max(1) as f64;
@@ -217,7 +231,10 @@ pub fn table4(a: &Analysis) -> String {
 /// Table 5: D-stream reads and writes per instruction, by source row.
 pub fn table5(a: &Analysis) -> String {
     let mut out = String::new();
-    line(&mut out, "Table 5 — D-stream Reads and Writes per Instruction");
+    line(
+        &mut out,
+        "Table 5 — D-stream Reads and Writes per Instruction",
+    );
     line(&mut out, "source          reads   writes");
     let rows = [
         ("Spec1", Activity::Spec1),
@@ -247,8 +264,14 @@ pub fn table5(a: &Analysis) -> String {
         Activity::MemMgmt,
         Activity::Abort,
     ];
-    let or: f64 = other_rows.iter().map(|&x| a.cell(x, CycleClass::Read)).sum();
-    let ow: f64 = other_rows.iter().map(|&x| a.cell(x, CycleClass::Write)).sum();
+    let or: f64 = other_rows
+        .iter()
+        .map(|&x| a.cell(x, CycleClass::Read))
+        .sum();
+    let ow: f64 = other_rows
+        .iter()
+        .map(|&x| a.cell(x, CycleClass::Write))
+        .sum();
     reads += or;
     writes += ow;
     let _ = writeln!(out, "{:<14} {or:>6.3} {ow:>8.3}", "Other");
@@ -278,7 +301,11 @@ pub fn table6(a: &Analysis) -> String {
     let specs = (a.spec1.total() + a.spec26.total()) as f64 / n;
     let bdisp = a.m.cpu_stats.branch_disps as f64 / n;
     let spec_bytes = (avg - 1.0 - bdisp * 1.1).max(0.0) / specs.max(1e-9);
-    let _ = writeln!(out, "specifiers/instr {specs:.2}, avg specifier size {spec_bytes:.2} B (paper {:.2} B)", paper::TABLE6_AVG_SPEC_BYTES);
+    let _ = writeln!(
+        out,
+        "specifiers/instr {specs:.2}, avg specifier size {spec_bytes:.2} B (paper {:.2} B)",
+        paper::TABLE6_AVG_SPEC_BYTES
+    );
     let _ = writeln!(
         out,
         "average instruction size: {avg:.2} bytes   (paper: {:.1})",
@@ -290,7 +317,10 @@ pub fn table6(a: &Analysis) -> String {
 /// Table 7: interrupt and context-switch headway.
 pub fn table7(a: &Analysis) -> String {
     let mut out = String::new();
-    line(&mut out, "Table 7 — Interrupt and Context-Switch Headway (instructions)");
+    line(
+        &mut out,
+        "Table 7 — Interrupt and Context-Switch Headway (instructions)",
+    );
     let rows = [
         (
             "Software interrupt requests",
@@ -333,7 +363,11 @@ pub fn events(a: &Analysis) -> String {
         ("IB refs/instr", ib_refs, paper::IB_REFS_PER_INSTR),
         (
             "IB bytes/ref",
-            if ib_refs > 0.0 { avg_bytes / ib_refs } else { 0.0 },
+            if ib_refs > 0.0 {
+                avg_bytes / ib_refs
+            } else {
+                0.0
+            },
             paper::IB_BYTES_PER_REF,
         ),
         (
@@ -386,7 +420,10 @@ pub fn events(a: &Analysis) -> String {
 /// Table 8: the full time decomposition.
 pub fn table8(a: &Analysis) -> String {
     let mut out = String::new();
-    line(&mut out, "Table 8 — Average VAX Instruction Timing (cycles per instruction)");
+    line(
+        &mut out,
+        "Table 8 — Average VAX Instruction Timing (cycles per instruction)",
+    );
     line(
         &mut out,
         "row          Compute     Read  R-Stall    Write  W-Stall IB-Stall    Total  (paper)",
@@ -419,7 +456,10 @@ pub fn table8(a: &Analysis) -> String {
 /// Table 9: cycles per instruction within each group.
 pub fn table9(a: &Analysis) -> String {
     let mut out = String::new();
-    line(&mut out, "Table 9 — Cycles per Instruction Within Each Group (execute phase)");
+    line(
+        &mut out,
+        "Table 9 — Cycles per Instruction Within Each Group (execute phase)",
+    );
     line(
         &mut out,
         "group        Compute     Read  R-Stall    Write  W-Stall    Total  (paper)",
@@ -445,7 +485,12 @@ pub fn table9(a: &Analysis) -> String {
             total += v;
             let _ = write!(out, " {v:>8.2}");
         }
-        let _ = writeln!(out, " {:>8.2} {:>8.2}", total, paper::TABLE9_GROUP_TOTALS[i]);
+        let _ = writeln!(
+            out,
+            " {:>8.2} {:>8.2}",
+            total,
+            paper::TABLE9_GROUP_TOTALS[i]
+        );
     }
     out
 }

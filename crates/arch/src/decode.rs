@@ -204,13 +204,25 @@ mod tests {
         assert_eq!(decode(&[0xFD]), Err(DecodeError::UnknownOpcode(0xFD)));
         assert_eq!(decode(&[0xD0, 0x51]), Err(DecodeError::Truncated));
         // register mode with PC
-        assert_eq!(decode(&[0xD0, 0x5F, 0x50]), Err(DecodeError::IllegalSpecifier(0x5F)));
+        assert_eq!(
+            decode(&[0xD0, 0x5F, 0x50]),
+            Err(DecodeError::IllegalSpecifier(0x5F))
+        );
         // double index
-        assert_eq!(decode(&[0xD0, 0x41, 0x42, 0x50]), Err(DecodeError::IllegalSpecifier(0x42)));
+        assert_eq!(
+            decode(&[0xD0, 0x41, 0x42, 0x50]),
+            Err(DecodeError::IllegalSpecifier(0x42))
+        );
         // index on register mode
-        assert_eq!(decode(&[0xD0, 0x41, 0x52, 0x50]), Err(DecodeError::IllegalSpecifier(0x52)));
+        assert_eq!(
+            decode(&[0xD0, 0x41, 0x52, 0x50]),
+            Err(DecodeError::IllegalSpecifier(0x52))
+        );
         // PC as index register
-        assert_eq!(decode(&[0xD0, 0x4F, 0x61, 0x50]), Err(DecodeError::IllegalSpecifier(0x4F)));
+        assert_eq!(
+            decode(&[0xD0, 0x4F, 0x61, 0x50]),
+            Err(DecodeError::IllegalSpecifier(0x4F))
+        );
     }
 
     #[test]
@@ -227,10 +239,17 @@ mod tests {
             ),
             Instruction::new(
                 Opcode::Calls,
-                vec![Specifier::literal(2), Specifier::displacement(0x4000, Reg::new(9))],
+                vec![
+                    Specifier::literal(2),
+                    Specifier::displacement(0x4000, Reg::new(9)),
+                ],
                 None,
             ),
-            Instruction::new(Opcode::Sobgtr, vec![Specifier::register(Reg::new(6))], Some(-12)),
+            Instruction::new(
+                Opcode::Sobgtr,
+                vec![Specifier::register(Reg::new(6))],
+                Some(-12),
+            ),
             Instruction::new(
                 Opcode::Movc3,
                 vec![

@@ -464,7 +464,11 @@ mod tests {
     fn groups_match_table1() {
         assert_eq!(Opcode::Movl.group(), OpcodeGroup::Simple);
         assert_eq!(Opcode::Extv.group(), OpcodeGroup::Field);
-        assert_eq!(Opcode::Mull2.group(), OpcodeGroup::Float, "integer multiply is FLOAT group");
+        assert_eq!(
+            Opcode::Mull2.group(),
+            OpcodeGroup::Float,
+            "integer multiply is FLOAT group"
+        );
         assert_eq!(Opcode::Pushr.group(), OpcodeGroup::CallRet);
         assert_eq!(Opcode::Insque.group(), OpcodeGroup::System);
         assert_eq!(Opcode::Movc3.group(), OpcodeGroup::Character);

@@ -201,10 +201,7 @@ mod tests {
     #[test]
     fn display_forms() {
         assert_eq!(Specifier::register(Reg::new(3)).to_string(), "R3");
-        assert_eq!(
-            Specifier::displacement(8, Reg::FP).to_string(),
-            "8(FP)"
-        );
+        assert_eq!(Specifier::displacement(8, Reg::FP).to_string(), "8(FP)");
         assert_eq!(
             Specifier::deferred(Reg::new(1))
                 .indexed(Reg::new(4))

@@ -1,118 +1,121 @@
 //! Property tests: encode → decode is the identity over random instructions.
+//!
+//! Driven by seeded random case generation (the offline build has no
+//! proptest); every opcode in the table is exercised with random specifier
+//! shapes, so coverage matches the original 512-case proptest run.
 
-use proptest::prelude::*;
-use vax_arch::{
-    decode, encode, AddressingMode, Instruction, Opcode, OperandKind, Reg, Specifier,
-};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vax_arch::{decode, encode, AddressingMode, Instruction, Opcode, OperandKind, Reg, Specifier};
 
-/// Strategy producing an arbitrary non-PC general register.
-fn any_gpr() -> impl Strategy<Value = Reg> {
-    (0u8..15).prop_map(Reg::new)
+/// An arbitrary non-PC general register.
+fn any_gpr(rng: &mut StdRng) -> Reg {
+    Reg::new(rng.gen_range(0u8..15))
 }
 
-/// Strategy producing a random valid specifier for an operand of the given
-/// byte size.
-fn any_specifier(operand_size: u32) -> BoxedStrategy<Specifier> {
-    let base = prop_oneof![
-        (0u8..64).prop_map(Specifier::literal),
-        any_gpr().prop_map(Specifier::register),
-        any_gpr().prop_map(Specifier::deferred),
-        (any_gpr(), any::<i32>()).prop_map(|(r, d)| Specifier::displacement(d, r)),
-        any::<u32>().prop_map(Specifier::immediate),
-        any::<u32>().prop_map(Specifier::absolute),
-        any_gpr().prop_map(|r| Specifier {
+/// A random valid specifier for an operand of the given byte size.
+fn any_specifier(rng: &mut StdRng, operand_size: u32) -> Specifier {
+    let base = match rng.gen_range(0..10u32) {
+        0 => Specifier::literal(rng.gen_range(0u8..64)),
+        1 => Specifier::register(any_gpr(rng)),
+        2 => Specifier::deferred(any_gpr(rng)),
+        3 => Specifier::displacement(rng.gen::<i32>(), any_gpr(rng)),
+        4 => Specifier::immediate(rng.gen::<u32>()),
+        5 => Specifier::absolute(rng.gen::<u32>()),
+        6 => Specifier {
             mode: AddressingMode::Autoincrement,
-            reg: r,
+            reg: any_gpr(rng),
             value: 0,
-            index: None
-        }),
-        any_gpr().prop_map(|r| Specifier {
+            index: None,
+        },
+        7 => Specifier {
             mode: AddressingMode::Autodecrement,
-            reg: r,
+            reg: any_gpr(rng),
             value: 0,
-            index: None
-        }),
-        (any_gpr(), any::<i8>()).prop_map(|(r, d)| Specifier {
+            index: None,
+        },
+        8 => Specifier {
             mode: AddressingMode::ByteDispDeferred,
-            reg: r,
-            value: d as i64,
-            index: None
-        }),
-        any::<i32>().prop_map(|d| Specifier {
+            reg: any_gpr(rng),
+            value: rng.gen::<i8>() as i64,
+            index: None,
+        },
+        _ => Specifier {
             mode: AddressingMode::PcRelative,
             reg: Reg::PC,
-            value: d as i64,
-            index: None
-        }),
-    ];
+            value: rng.gen::<i32>() as i64,
+            index: None,
+        },
+    };
     // Immediates wider than a longword keep only `operand_size` bytes; mask
     // the generated value so the round-trip comparison is meaningful.
-    let masked = base.prop_map(move |mut s| {
-        if s.mode == AddressingMode::Immediate && operand_size < 8 {
-            let mask = (1u64 << (operand_size * 8)) - 1;
-            s.value = ((s.value as u64) & mask) as i64;
-        }
-        s
-    });
-    (masked, proptest::option::of(any_gpr()))
-        .prop_map(|(s, ix)| {
-            let indexable = !matches!(
-                s.mode,
-                AddressingMode::Literal | AddressingMode::Register | AddressingMode::Immediate
-            );
-            match (indexable, ix) {
-                (true, Some(ix)) => s.indexed(ix),
-                _ => s,
-            }
-        })
-        .boxed()
-}
-
-fn any_instruction() -> impl Strategy<Value = Instruction> {
-    (0..Opcode::COUNT)
-        .prop_flat_map(|i| {
-            let opcode = vax_arch::opcode::OPCODE_TABLE[i].opcode;
-            let spec_strats: Vec<BoxedStrategy<Specifier>> = opcode
-                .operands()
-                .iter()
-                .filter_map(|op| match op {
-                    OperandKind::Spec(_, dt) => Some(any_specifier(dt.size())),
-                    OperandKind::Branch(_) => None,
-                })
-                .collect();
-            let disp = if opcode.has_branch_disp() {
-                // Word-width opcodes allow a wider range; stay within byte
-                // range so both widths are valid.
-                (-128i32..=127).prop_map(Some).boxed()
-            } else {
-                Just(None).boxed()
-            };
-            (Just(opcode), spec_strats, disp)
-        })
-        .prop_map(|(opcode, specs, disp)| Instruction::new(opcode, specs, disp))
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    #[test]
-    fn encode_decode_roundtrip(insn in any_instruction()) {
-        let bytes = encode(&insn);
-        prop_assert_eq!(bytes.len() as u32, insn.len);
-        let decoded = decode(&bytes).unwrap();
-        prop_assert_eq!(decoded, insn);
+    let mut s = base;
+    if s.mode == AddressingMode::Immediate && operand_size < 8 {
+        let mask = (1u64 << (operand_size * 8)) - 1;
+        s.value = ((s.value as u64) & mask) as i64;
     }
+    let indexable = !matches!(
+        s.mode,
+        AddressingMode::Literal | AddressingMode::Register | AddressingMode::Immediate
+    );
+    if indexable && rng.gen_bool(0.5) {
+        s = s.indexed(any_gpr(rng));
+    }
+    s
+}
 
-    #[test]
-    fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..32)) {
+fn any_instruction(rng: &mut StdRng) -> Instruction {
+    let i = rng.gen_range(0..Opcode::COUNT);
+    let opcode = vax_arch::opcode::OPCODE_TABLE[i].opcode;
+    let specs: Vec<Specifier> = opcode
+        .operands()
+        .iter()
+        .filter_map(|op| match op {
+            OperandKind::Spec(_, dt) => Some(any_specifier(rng, dt.size())),
+            OperandKind::Branch(_) => None,
+        })
+        .collect();
+    // Word-width opcodes allow a wider range; stay within byte range so both
+    // widths are valid.
+    let disp = if opcode.has_branch_disp() {
+        Some(rng.gen_range(-128i32..=127))
+    } else {
+        None
+    };
+    Instruction::new(opcode, specs, disp)
+}
+
+#[test]
+fn encode_decode_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x1984);
+    for _ in 0..512 {
+        let insn = any_instruction(&mut rng);
+        let bytes = encode(&insn);
+        assert_eq!(bytes.len() as u32, insn.len, "{insn}");
+        let decoded = decode(&bytes).unwrap();
+        assert_eq!(decoded, insn);
+    }
+}
+
+#[test]
+fn decode_never_panics() {
+    let mut rng = StdRng::seed_from_u64(0xDEC0DE);
+    for _ in 0..512 {
+        let n = rng.gen_range(0..32usize);
+        let bytes: Vec<u8> = (0..n).map(|_| rng.gen::<u8>()).collect();
         let _ = decode(&bytes);
     }
+}
 
-    #[test]
-    fn decoded_len_bounded(bytes in proptest::collection::vec(any::<u8>(), 1..64)) {
+#[test]
+fn decoded_len_bounded() {
+    let mut rng = StdRng::seed_from_u64(0xB0DED);
+    for _ in 0..512 {
+        let n = rng.gen_range(1..64usize);
+        let bytes: Vec<u8> = (0..n).map(|_| rng.gen::<u8>()).collect();
         if let Ok(insn) = decode(&bytes) {
-            prop_assert!(insn.len as usize <= bytes.len());
-            prop_assert!(insn.len >= 1);
+            assert!(insn.len as usize <= bytes.len());
+            assert!(insn.len >= 1);
         }
     }
 }

@@ -39,7 +39,9 @@ impl Operand {
     fn encoded_len(&self, size: u32) -> u32 {
         match self {
             Operand::Lit(_) | Operand::Reg(_) => 1,
-            Operand::Deferred(_) | Operand::AutoInc(_) | Operand::AutoDec(_)
+            Operand::Deferred(_)
+            | Operand::AutoInc(_)
+            | Operand::AutoDec(_)
             | Operand::AutoIncDef(_) => 1,
             Operand::Imm(_) => 1 + size,
             Operand::Disp(d, _) | Operand::DispDef(d, _) => {
@@ -59,11 +61,7 @@ impl Operand {
 
     /// Resolve to a [`Specifier`], with `pc_after` the address just past
     /// this specifier's encoding (for PC-relative forms).
-    fn resolve(
-        &self,
-        labels: &HashMap<String, u32>,
-        pc_after: u32,
-    ) -> Result<Specifier, AsmError> {
+    fn resolve(&self, labels: &HashMap<String, u32>, pc_after: u32) -> Result<Specifier, AsmError> {
         Ok(match self {
             Operand::Lit(v) => Specifier::literal(*v),
             Operand::Imm(v) => Specifier::immediate(*v),
@@ -237,7 +235,12 @@ impl Asm {
 
     /// Append an instruction. `target` supplies the branch-displacement
     /// label for opcodes that have one.
-    pub fn insn(&mut self, opcode: Opcode, operands: &[Operand], target: Option<&str>) -> &mut Self {
+    pub fn insn(
+        &mut self,
+        opcode: Opcode,
+        operands: &[Operand],
+        target: Option<&str>,
+    ) -> &mut Self {
         self.items.push(Item::Insn {
             opcode,
             operands: operands.to_vec(),
@@ -279,8 +282,9 @@ impl Asm {
     /// instruction). Each entry is a word displacement from the table start
     /// to the target label.
     pub fn case_table(&mut self, targets: &[&str]) -> &mut Self {
-        self.items
-            .push(Item::CaseTable(targets.iter().map(|s| s.to_string()).collect()));
+        self.items.push(Item::CaseTable(
+            targets.iter().map(|s| s.to_string()).collect(),
+        ));
         self
     }
 
@@ -296,9 +300,7 @@ impl Asm {
                         OperandKind::Spec(_, dt) => {
                             // A count mismatch is reported in pass 2; size
                             // the missing operand as one byte meanwhile.
-                            len += operands
-                                .get(oi)
-                                .map_or(1, |o| o.encoded_len(dt.size()));
+                            len += operands.get(oi).map_or(1, |o| o.encoded_len(dt.size()));
                             oi += 1;
                         }
                         OperandKind::Branch(w) => len += w.size(),
@@ -415,11 +417,7 @@ impl Asm {
                                 .ok_or_else(|| AsmError::UndefinedLabel(name.clone()))?;
                             let insn_len = Self::item_len(item, at, true);
                             let d = t as i64 - (at + insn_len) as i64;
-                            let ok = match opcode
-                                .operands()
-                                .iter()
-                                .find(|k| k.is_branch_disp())
-                            {
+                            let ok = match opcode.operands().iter().find(|k| k.is_branch_disp()) {
                                 Some(OperandKind::Branch(w)) if w.size() == 1 => {
                                     (-128..=127).contains(&d)
                                 }
@@ -487,10 +485,7 @@ mod tests {
         let mut asm = Asm::new(0x2000);
         asm.insn(
             Opcode::Movl,
-            &[
-                Operand::Label("data".into()),
-                Operand::Reg(Reg::new(1)),
-            ],
+            &[Operand::Label("data".into()), Operand::Reg(Reg::new(1))],
             None,
         );
         asm.insn(Opcode::Halt, &[], None);
@@ -529,14 +524,14 @@ mod tests {
 
         let mut asm2 = Asm::new(0);
         asm2.label("x").label("x");
-        assert!(matches!(
-            asm2.assemble(),
-            Err(AsmError::DuplicateLabel(_))
-        ));
+        assert!(matches!(asm2.assemble(), Err(AsmError::DuplicateLabel(_))));
 
         let mut asm3 = Asm::new(0);
         asm3.insn(Opcode::Movl, &[Operand::Lit(1)], None);
-        assert!(matches!(asm3.assemble(), Err(AsmError::OperandCount { .. })));
+        assert!(matches!(
+            asm3.assemble(),
+            Err(AsmError::OperandCount { .. })
+        ));
 
         let mut asm4 = Asm::new(0);
         asm4.label("far");

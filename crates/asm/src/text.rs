@@ -100,8 +100,12 @@ fn parse_operand(tok: &str, line: usize) -> Result<Operand, ParseError> {
     }
     // Indexed suffix [Rx].
     if let Some(open) = tok.rfind('[') {
-        if let Some(rest) = tok[open..].strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
-            let ix = parse_reg(rest).ok_or_else(|| err(line, format!("bad index register `{rest}`")))?;
+        if let Some(rest) = tok[open..]
+            .strip_prefix('[')
+            .and_then(|s| s.strip_suffix(']'))
+        {
+            let ix =
+                parse_reg(rest).ok_or_else(|| err(line, format!("bad index register `{rest}`")))?;
             let base = parse_operand(&tok[..open], line)?;
             return Ok(Operand::Indexed(Box::new(base), ix));
         }
@@ -267,8 +271,8 @@ pub fn parse(source: &str, origin: u32) -> Result<Image, ParseError> {
         }
         // Instruction.
         let (mn, rest) = text.split_once(char::is_whitespace).unwrap_or((text, ""));
-        let opcode = Opcode::from_mnemonic(mn)
-            .ok_or_else(|| err(line, format!("unknown opcode `{mn}`")))?;
+        let opcode =
+            Opcode::from_mnemonic(mn).ok_or_else(|| err(line, format!("unknown opcode `{mn}`")))?;
         let mut toks = split_operands(rest);
         let target = if opcode.has_branch_disp() {
             Some(

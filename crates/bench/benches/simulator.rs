@@ -1,78 +1,71 @@
-//! Criterion benches: simulator component and full-system throughput.
+//! Simulator component and full-system throughput benches.
+//!
+//! Plain `harness = false` binaries timed with [`vax_bench::harness`] (the
+//! build environment has no crates.io access, so Criterion is unavailable).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use vax_arch::decode;
+use vax_bench::harness::Bench;
 use vax_mem::{Cache, MemorySystem, PhysAddr, Tb, VirtAddr};
 use vax_workload::{build_system, generate_process, Workload, WorkloadProfile};
 
-fn bench_decoder(c: &mut Criterion) {
+fn bench_decoder(b: &mut Bench) {
     let profile = WorkloadProfile::baseline();
     let spec = generate_process(&profile, 99);
     let code = &spec.image.bytes[..0x8000.min(spec.image.bytes.len())];
-    let mut g = c.benchmark_group("decoder");
-    g.throughput(Throughput::Bytes(code.len() as u64));
-    g.bench_function("stream", |b| {
-        b.iter(|| {
-            let mut at = 0usize;
-            let mut n = 0u64;
-            while at + 16 < code.len() {
-                match decode(&code[at..]) {
-                    Ok(insn) => {
-                        at += insn.len as usize;
-                        n += 1;
-                    }
-                    Err(_) => at += 1,
+    b.bench("decoder/stream", || {
+        let mut at = 0usize;
+        let mut n = 0u64;
+        while at + 16 < code.len() {
+            match decode(&code[at..]) {
+                Ok(insn) => {
+                    at += insn.len as usize;
+                    n += 1;
                 }
+                Err(_) => at += 1,
             }
-            n
-        })
-    });
-    g.finish();
-}
-
-fn bench_cache(c: &mut Criterion) {
-    c.bench_function("cache/access_read_stream", |b| {
-        let mut cache = Cache::new_780();
-        let mut addr = 0u32;
-        b.iter(|| {
-            addr = addr.wrapping_add(68) & 0x3FFFF;
-            cache.access_read(PhysAddr(addr))
-        })
-    });
-    c.bench_function("tb/probe_insert", |b| {
-        let mut tb = Tb::new_780();
-        let mut va = 0u32;
-        b.iter(|| {
-            va = va.wrapping_add(512) & 0xFFFFF;
-            if tb.probe(VirtAddr(va)).is_none() {
-                tb.insert(VirtAddr(va), va >> 9);
-            }
-        })
-    });
-    c.bench_function("memsys/read_cycle", |b| {
-        let mut ms = MemorySystem::new_780();
-        let mut t = 0u64;
-        let mut pa = 0u32;
-        b.iter(|| {
-            pa = pa.wrapping_add(36) & 0xFFFF;
-            t += 1;
-            ms.read_cycle(PhysAddr(pa), t)
-        })
+        }
+        n
     });
 }
 
-fn bench_full_system(c: &mut Criterion) {
-    let mut g = c.benchmark_group("system");
-    g.sample_size(10);
+fn bench_cache(b: &mut Bench) {
+    let mut cache = Cache::new_780();
+    let mut addr = 0u32;
+    b.bench("cache/access_read_stream", || {
+        addr = addr.wrapping_add(68) & 0x3FFFF;
+        cache.access_read(PhysAddr(addr))
+    });
+    let mut tb = Tb::new_780();
+    let mut va = 0u32;
+    b.bench("tb/probe_insert", || {
+        va = va.wrapping_add(512) & 0xFFFFF;
+        if tb.probe(VirtAddr(va)).is_none() {
+            tb.insert(VirtAddr(va), va >> 9);
+        }
+    });
+    let mut ms = MemorySystem::new_780();
+    let mut t = 0u64;
+    let mut pa = 0u32;
+    b.bench("memsys/read_cycle", || {
+        pa = pa.wrapping_add(36) & 0xFFFF;
+        t += 1;
+        ms.read_cycle(PhysAddr(pa), t)
+    });
+}
+
+fn bench_full_system(b: &mut Bench) {
     for w in [Workload::TimesharingResearch, Workload::SciEng] {
-        g.throughput(Throughput::Elements(20_000));
-        g.bench_function(format!("run_20k_instr/{:?}", w), |b| {
-            let mut sys = build_system(w, 3, 5);
-            b.iter(|| sys.run_instructions(20_000))
+        let mut sys = build_system(w, 3, 5);
+        b.bench_n(&format!("system/run_20k_instr/{w:?}"), 5, || {
+            sys.run_instructions(20_000)
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_decoder, bench_cache, bench_full_system);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::from_args();
+    bench_decoder(&mut b);
+    bench_cache(&mut b);
+    bench_full_system(&mut b);
+    b.finish();
+}

@@ -3,8 +3,8 @@
 //! 8's bench is the headline: measure + reduce + render the full timing
 //! decomposition).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use vax_analysis::{tables, Analysis};
+use vax_bench::harness::Bench;
 use vax_workload::{build_system, Workload};
 
 fn measured() -> (vax_cpu::ControlStore, vax780::Measurement) {
@@ -13,29 +13,22 @@ fn measured() -> (vax_cpu::ControlStore, vax780::Measurement) {
     (sys.cpu.cs.clone(), m)
 }
 
-fn bench_tables(c: &mut Criterion) {
+fn main() {
+    let mut b = Bench::from_args();
     let (cs, m) = measured();
     let a = Analysis::new(&cs, &m);
-    let mut g = c.benchmark_group("tables");
-    g.bench_function("table1_opcode_groups", |b| b.iter(|| tables::table1(&a)));
-    g.bench_function("table2_pc_changing", |b| b.iter(|| tables::table2(&a)));
-    g.bench_function("table3_specifiers", |b| b.iter(|| tables::table3(&a)));
-    g.bench_function("table4_modes", |b| b.iter(|| tables::table4(&a)));
-    g.bench_function("table5_reads_writes", |b| b.iter(|| tables::table5(&a)));
-    g.bench_function("table6_instr_size", |b| b.iter(|| tables::table6(&a)));
-    g.bench_function("table7_headway", |b| b.iter(|| tables::table7(&a)));
-    g.bench_function("events_section4", |b| b.iter(|| tables::events(&a)));
-    g.bench_function("table8_timing", |b| b.iter(|| tables::table8(&a)));
-    g.bench_function("table9_per_group", |b| b.iter(|| tables::table9(&a)));
-    g.finish();
-
-    let mut g2 = c.benchmark_group("reduction");
-    g2.sample_size(20);
-    g2.bench_function("histogram_to_analysis", |b| {
-        b.iter(|| Analysis::new(&cs, &m))
+    b.bench("tables/table1_opcode_groups", || tables::table1(&a));
+    b.bench("tables/table2_pc_changing", || tables::table2(&a));
+    b.bench("tables/table3_specifiers", || tables::table3(&a));
+    b.bench("tables/table4_modes", || tables::table4(&a));
+    b.bench("tables/table5_reads_writes", || tables::table5(&a));
+    b.bench("tables/table6_instr_size", || tables::table6(&a));
+    b.bench("tables/table7_headway", || tables::table7(&a));
+    b.bench("tables/events_section4", || tables::events(&a));
+    b.bench("tables/table8_timing", || tables::table8(&a));
+    b.bench("tables/table9_per_group", || tables::table9(&a));
+    b.bench_n("reduction/histogram_to_analysis", 20, || {
+        Analysis::new(&cs, &m)
     });
-    g2.finish();
+    b.finish();
 }
-
-criterion_group!(benches, bench_tables);
-criterion_main!(benches);

@@ -2,21 +2,21 @@
 //!
 //! ```text
 //! reproduce [--instructions N] [--seed S] [--experiment WHICH] [--per-workload]
+//!           [--format text|json] [--out DIR] [--interval-cycles N]
 //! ```
 //!
-//! `WHICH` ∈ {fig1, table1..table9, table3, events, all} (default `all`).
+//! `WHICH` ∈ {fig1, table1..table9, events, all} (default `all`).
 //! `--per-workload` also prints the composite's five constituent CPIs.
+//!
+//! With `--format json`, the run emits machine-readable artifacts — the run
+//! manifest, raw measurement counters, Tables 1–9, the interval time series
+//! (JSON and CSV), and the counter-conservation validation report — into
+//! `--out DIR` (or tables.json to stdout when `--out` is absent).
 
-use vax_analysis::{tables, Analysis};
-use vax_bench::{DEFAULT_INSTRUCTIONS, DEFAULT_SEED};
+use vax780::TimeSeries;
+use vax_analysis::{tables, validate, Analysis, RunManifest};
+use vax_bench::cli::{self, Format, Options};
 use vax_workload::Workload;
-
-fn usage() -> ! {
-    eprintln!(
-        "usage: reproduce [--instructions N] [--seed S] [--experiment fig1|table1..table9|events|all] [--per-workload]"
-    );
-    std::process::exit(2)
-}
 
 fn fig1() -> String {
     // Figure 1 is the 780 block diagram; we reproduce it as the simulated
@@ -36,49 +36,51 @@ fn fig1() -> String {
 }
 
 fn main() {
-    let mut instructions = DEFAULT_INSTRUCTIONS;
-    let mut seed = DEFAULT_SEED;
-    let mut experiment = "all".to_string();
-    let mut per_workload = false;
-
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--instructions" => {
-                i += 1;
-                instructions = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
-            }
-            "--seed" => {
-                i += 1;
-                seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
-            }
-            "--experiment" => {
-                i += 1;
-                experiment = args.get(i).cloned().unwrap_or_else(|| usage());
-            }
-            "--per-workload" => per_workload = true,
-            _ => usage(),
+    let opts = match cli::parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("reproduce: {msg}");
+            eprintln!("{}", cli::usage());
+            std::process::exit(2);
         }
-        i += 1;
-    }
+    };
 
-    if experiment == "fig1" {
+    if opts.experiment == "fig1" {
         print!("{}", fig1());
         return;
     }
 
-    eprintln!(
-        "running 5 workloads x {instructions} instructions (seed {seed}) ..."
-    );
+    let Options {
+        instructions,
+        seed,
+        interval_cycles,
+        ..
+    } = opts;
+    eprintln!("running 5 workloads x {instructions} instructions (seed {seed}) ...");
     // Run the five workloads and form the composite, keeping one system's
     // control store as the reduction key (all systems share the layout).
+    // Each workload's interval samples are appended with a cycle offset so
+    // the composite time series stays contiguous, and merging it still
+    // reproduces the composite measurement exactly.
     let mut per: Vec<(Workload, f64)> = Vec::new();
     let mut composite = None;
     let mut cs = None;
+    let mut series = TimeSeries::default();
+    let mut cycle_offset = 0u64;
     for (i, &w) in Workload::ALL.iter().enumerate() {
-        let mut system = vax_workload::build_system(w, vax_workload::rte::PROCESSES_PER_WORKLOAD, seed.wrapping_add(i as u64));
-        let m = system.measure(instructions / 10, instructions);
+        let mut system = vax_workload::build_system(
+            w,
+            vax_workload::rte::PROCESSES_PER_WORKLOAD,
+            seed.wrapping_add(i as u64),
+        );
+        let (m, ts) = system.measure_sampled(instructions / 10, instructions, interval_cycles);
+        for mut s in ts.samples {
+            s.start_cycle += cycle_offset;
+            s.end_cycle += cycle_offset;
+            series.samples.push(s);
+        }
+        cycle_offset += m.cycles;
         per.push((w, m.cpi()));
         match &mut composite {
             None => {
@@ -90,12 +92,17 @@ fn main() {
         eprintln!("  {} done (CPI {:.2})", w.name(), per.last().unwrap().1);
     }
     let composite = composite.unwrap();
-    let a = Analysis::new(cs.as_ref().unwrap(), &composite);
+    let cs = cs.unwrap();
+    let a = Analysis::new(&cs, &composite);
     if let Err(e) = a.check_conservation() {
         eprintln!("WARNING: conservation check failed: {e}");
     }
+    let report = validate(&cs, &composite);
+    if !report.is_clean() {
+        eprintln!("WARNING: counter validation diverged:\n{}", report.render());
+    }
 
-    if per_workload {
+    if opts.per_workload {
         println!("Per-workload CPI:");
         for (w, cpi) in &per {
             println!("  {:<34} {cpi:>6.2}", w.name());
@@ -103,7 +110,47 @@ fn main() {
         println!();
     }
 
-    let out = match experiment.as_str() {
+    if opts.format == Format::Json {
+        let manifest = RunManifest {
+            experiment: opts.experiment.clone(),
+            seed: Some(seed),
+            instructions,
+            warmup: instructions / 10,
+            interval_cycles,
+            config: "default VAX-11/780 configuration, 5-workload composite".to_string(),
+        };
+        let files = vax_analysis::run_artifacts(&manifest, &a, &series, &report);
+        match &opts.out {
+            Some(dir) => {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("reproduce: cannot create {}: {e}", dir.display());
+                    std::process::exit(1);
+                }
+                for (name, body) in &files {
+                    let path = dir.join(name);
+                    if let Err(e) = std::fs::write(&path, body) {
+                        eprintln!("reproduce: cannot write {}: {e}", path.display());
+                        std::process::exit(1);
+                    }
+                }
+                eprintln!("wrote {} artifacts to {}", files.len(), dir.display());
+            }
+            None => {
+                let tables = files
+                    .iter()
+                    .find(|(name, _)| *name == "tables.json")
+                    .map(|(_, body)| body.as_str())
+                    .unwrap();
+                print!("{tables}");
+            }
+        }
+        if !report.is_clean() {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let out = match opts.experiment.as_str() {
         "all" => {
             let mut s = fig1();
             s.push('\n');
@@ -120,7 +167,10 @@ fn main() {
         "table8" => tables::table8(&a),
         "table9" => tables::table9(&a),
         "events" => tables::events(&a),
-        _ => usage(),
+        other => unreachable!("experiment '{other}' passed validation but has no renderer"),
     };
     print!("{out}");
+    if !report.is_clean() {
+        std::process::exit(1);
+    }
 }

@@ -1,0 +1,223 @@
+//! Argument parsing for the `reproduce` binary.
+//!
+//! Lives in the library so the parsing rules are unit-testable: unknown
+//! experiments and malformed numbers must be rejected up front with a clear
+//! message (and a nonzero exit in the binary), never silently defaulted —
+//! a bad flag would otherwise waste a five-workload measurement run.
+
+use std::path::PathBuf;
+
+/// Valid `--experiment` values.
+pub const EXPERIMENTS: &[&str] = &[
+    "all", "fig1", "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
+    "table9", "events",
+];
+
+/// Output format for the reproduction results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Format {
+    /// Human-readable tables on stdout.
+    #[default]
+    Text,
+    /// Machine-readable JSON (tables, measurement, time series, manifest).
+    Json,
+}
+
+/// Parsed command line for `reproduce`.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Instructions measured per workload.
+    pub instructions: u64,
+    /// Base RNG seed (workload `i` uses `seed + i`).
+    pub seed: u64,
+    /// Which table/figure to emit (one of [`EXPERIMENTS`]).
+    pub experiment: String,
+    /// Also print the five constituent per-workload CPIs.
+    pub per_workload: bool,
+    /// Output format.
+    pub format: Format,
+    /// Directory for machine-readable artifacts (manifest, tables, time
+    /// series, validation report). Created if absent.
+    pub out: Option<PathBuf>,
+    /// Interval-sampler period in cycles for the telemetry time series.
+    pub interval_cycles: u64,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            instructions: crate::DEFAULT_INSTRUCTIONS,
+            seed: crate::DEFAULT_SEED,
+            experiment: "all".to_string(),
+            per_workload: false,
+            format: Format::Text,
+            out: None,
+            interval_cycles: 500_000,
+        }
+    }
+}
+
+/// One-line usage string.
+pub fn usage() -> String {
+    "usage: reproduce [--instructions N] [--seed S] \
+     [--experiment fig1|table1..table9|events|all] [--per-workload] \
+     [--format text|json] [--out DIR] [--interval-cycles N]"
+        .to_string()
+}
+
+fn parse_u64(flag: &str, value: Option<&String>) -> Result<u64, String> {
+    let raw = value.ok_or_else(|| format!("{flag} requires a value"))?;
+    raw.parse()
+        .map_err(|_| format!("invalid value for {flag}: '{raw}' (expected a non-negative integer)"))
+}
+
+/// Parse the argument list (without the program name).
+///
+/// # Errors
+/// Returns a message describing the first invalid flag or value; the caller
+/// should print it and exit nonzero.
+pub fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--instructions" => {
+                i += 1;
+                opts.instructions = parse_u64("--instructions", args.get(i))?;
+                if opts.instructions == 0 {
+                    return Err("--instructions must be at least 1".to_string());
+                }
+            }
+            "--seed" => {
+                i += 1;
+                opts.seed = parse_u64("--seed", args.get(i))?;
+            }
+            "--interval-cycles" => {
+                i += 1;
+                opts.interval_cycles = parse_u64("--interval-cycles", args.get(i))?;
+                if opts.interval_cycles == 0 {
+                    return Err("--interval-cycles must be at least 1".to_string());
+                }
+            }
+            "--experiment" => {
+                i += 1;
+                let e = args
+                    .get(i)
+                    .ok_or_else(|| "--experiment requires a value".to_string())?;
+                if !EXPERIMENTS.contains(&e.as_str()) {
+                    return Err(format!(
+                        "unknown experiment '{e}' (expected one of: {})",
+                        EXPERIMENTS.join(", ")
+                    ));
+                }
+                opts.experiment = e.clone();
+            }
+            "--format" => {
+                i += 1;
+                let f = args
+                    .get(i)
+                    .ok_or_else(|| "--format requires a value".to_string())?;
+                opts.format = match f.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format '{other}' (expected text|json)")),
+                };
+            }
+            "--out" => {
+                i += 1;
+                let dir = args
+                    .get(i)
+                    .ok_or_else(|| "--out requires a directory".to_string())?;
+                opts.out = Some(PathBuf::from(dir));
+            }
+            "--per-workload" => opts.per_workload = true,
+            other => return Err(format!("unknown argument '{other}'\n{}", usage())),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        parse_args(&v)
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.instructions, crate::DEFAULT_INSTRUCTIONS);
+        assert_eq!(o.seed, crate::DEFAULT_SEED);
+        assert_eq!(o.experiment, "all");
+        assert_eq!(o.format, Format::Text);
+        assert!(o.out.is_none());
+    }
+
+    #[test]
+    fn full_flag_set() {
+        let o = parse(&[
+            "--instructions",
+            "5000",
+            "--seed",
+            "7",
+            "--experiment",
+            "table8",
+            "--per-workload",
+            "--format",
+            "json",
+            "--out",
+            "/tmp/x",
+            "--interval-cycles",
+            "1000",
+        ])
+        .unwrap();
+        assert_eq!(o.instructions, 5000);
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.experiment, "table8");
+        assert!(o.per_workload);
+        assert_eq!(o.format, Format::Json);
+        assert_eq!(o.out.as_deref(), Some(std::path::Path::new("/tmp/x")));
+        assert_eq!(o.interval_cycles, 1000);
+    }
+
+    #[test]
+    fn rejects_unknown_experiment() {
+        let err = parse(&["--experiment", "table99"]).unwrap_err();
+        assert!(err.contains("unknown experiment 'table99'"), "{err}");
+        assert!(err.contains("table9"), "message lists valid values: {err}");
+    }
+
+    #[test]
+    fn rejects_malformed_numbers() {
+        for flag in ["--instructions", "--seed", "--interval-cycles"] {
+            let err = parse(&[flag, "12abc"]).unwrap_err();
+            assert!(err.contains(flag), "{err}");
+            assert!(err.contains("12abc"), "{err}");
+            let err = parse(&[flag]).unwrap_err();
+            assert!(err.contains("requires a value"), "{err}");
+        }
+        assert!(
+            parse(&["--instructions", "-5"]).is_err(),
+            "negative rejected"
+        );
+    }
+
+    #[test]
+    fn rejects_zero_where_meaningless() {
+        assert!(parse(&["--instructions", "0"]).is_err());
+        assert!(parse(&["--interval-cycles", "0"]).is_err());
+        assert!(parse(&["--seed", "0"]).is_ok(), "seed zero is valid");
+    }
+
+    #[test]
+    fn rejects_unknown_flag_and_format() {
+        assert!(parse(&["--frobnicate"])
+            .unwrap_err()
+            .contains("--frobnicate"));
+        assert!(parse(&["--format", "xml"]).unwrap_err().contains("xml"));
+    }
+}

@@ -1,0 +1,120 @@
+//! Minimal timing harness for `harness = false` benches.
+//!
+//! The build environment is offline, so Criterion is unavailable; this
+//! module provides the small subset the benches need: named benchmarks,
+//! automatic iteration-count calibration, a substring filter from the
+//! command line (`cargo bench -- cache`), and a ns/iter report.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target wall time per calibrated benchmark.
+const TARGET: Duration = Duration::from_millis(200);
+
+/// One benchmark result: name, iterations timed, total elapsed.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Iterations in the timed run.
+    pub iters: u64,
+    /// Wall time of the timed run.
+    pub elapsed: Duration,
+}
+
+impl BenchResult {
+    /// Nanoseconds per iteration.
+    pub fn ns_per_iter(&self) -> f64 {
+        self.elapsed.as_nanos() as f64 / self.iters.max(1) as f64
+    }
+}
+
+/// A bench run: collects results, prints them on [`Bench::finish`].
+#[derive(Debug, Default)]
+pub struct Bench {
+    filter: Option<String>,
+    results: Vec<BenchResult>,
+}
+
+impl Bench {
+    /// Build from `std::env::args`: the first non-flag argument is a
+    /// substring filter (flags such as `--bench` that cargo forwards are
+    /// ignored).
+    pub fn from_args() -> Bench {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Bench {
+            filter,
+            results: Vec::new(),
+        }
+    }
+
+    fn selected(&self, name: &str) -> bool {
+        match &self.filter {
+            Some(f) => name.contains(f.as_str()),
+            None => true,
+        }
+    }
+
+    /// Run `f` repeatedly, calibrating the iteration count toward
+    /// [`TARGET`] total wall time, and record the result.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {
+        if !self.selected(name) {
+            return;
+        }
+        // Calibration: double iterations until the run is long enough to
+        // time reliably, then scale to the target.
+        let mut iters = 1u64;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(10) || iters >= 1 << 24 {
+                break elapsed.as_nanos() as f64 / iters as f64;
+            }
+            iters *= 2;
+        };
+        let timed_iters = ((TARGET.as_nanos() as f64 / per_iter.max(1.0)) as u64).clamp(1, 1 << 28);
+        self.run_fixed(name, timed_iters, f);
+    }
+
+    /// Run `f` exactly `iters` times (for expensive benchmarks where
+    /// calibration would be wasteful).
+    pub fn bench_n<T>(&mut self, name: &str, iters: u64, f: impl FnMut() -> T) {
+        if !self.selected(name) {
+            return;
+        }
+        self.run_fixed(name, iters, f);
+    }
+
+    fn run_fixed<T>(&mut self, name: &str, iters: u64, mut f: impl FnMut() -> T) {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let result = BenchResult {
+            name: name.to_string(),
+            iters,
+            elapsed: start.elapsed(),
+        };
+        println!(
+            "{:<44} {:>12.1} ns/iter   ({} iters, {:.3} s)",
+            result.name,
+            result.ns_per_iter(),
+            result.iters,
+            result.elapsed.as_secs_f64()
+        );
+        self.results.push(result);
+    }
+
+    /// Results recorded so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Print the summary footer.
+    pub fn finish(&self) {
+        println!("{} benchmarks run", self.results.len());
+    }
+}

@@ -4,6 +4,9 @@
 //! table and figure of Emer & Clark (ISCA 1984). See `src/bin/reproduce.rs`
 //! and the Criterion benches under `benches/`.
 
+pub mod cli;
+pub mod harness;
+
 /// Default per-workload measurement length (instructions) for the full
 /// reproduction. The paper ran each experiment ~1 hour of wall time; at
 /// 10.6 cycles (2.1 µs) per instruction that is ~1.7 G instructions — far

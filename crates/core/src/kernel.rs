@@ -75,7 +75,11 @@ pub fn build(origin: u32, pcb_vas: &[u32], config: KernelConfig) -> (Image, Kern
 
     // ---- boot: load the first process context and drop to user mode ----
     a.label("boot");
-    a.insn(Opcode::Movl, &[Label("pcbtab".into()), R(Reg::new(0))], None);
+    a.insn(
+        Opcode::Movl,
+        &[Label("pcbtab".into()), R(Reg::new(0))],
+        None,
+    );
     a.insn(Opcode::Mtpr, &[R(Reg::new(0)), Lit(PR_PCBB)], None);
     a.insn(Opcode::Ldpctx, &[], None);
     a.insn(Opcode::Rei, &[], None);
@@ -111,13 +115,21 @@ pub fn build(origin: u32, pcb_vas: &[u32], config: KernelConfig) -> (Image, Kern
 
     // ---- reschedule: pick the next process (round robin) ----
     a.label("resched");
-    a.insn(Opcode::Movl, &[Label("cur_proc".into()), R(Reg::new(1))], None);
+    a.insn(
+        Opcode::Movl,
+        &[Label("cur_proc".into()), R(Reg::new(1))],
+        None,
+    );
     a.insn(Opcode::Incl, &[R(Reg::new(1))], None);
     a.insn(Opcode::Cmpl, &[R(Reg::new(1)), Label("nproc".into())], None);
     a.insn(Opcode::Blss, &[], Some("rs_ok"));
     a.insn(Opcode::Clrl, &[R(Reg::new(1))], None);
     a.label("rs_ok");
-    a.insn(Opcode::Movl, &[R(Reg::new(1)), Label("cur_proc".into())], None);
+    a.insn(
+        Opcode::Movl,
+        &[R(Reg::new(1)), Label("cur_proc".into())],
+        None,
+    );
     a.insn(
         Opcode::Movl,
         &[
@@ -133,9 +145,17 @@ pub fn build(origin: u32, pcb_vas: &[u32], config: KernelConfig) -> (Image, Kern
     // ---- software interrupt ISR: small bookkeeping ----
     a.label("softint_isr");
     a.insn(Opcode::Pushr, &[Lit(0b11)], None);
-    a.insn(Opcode::Movl, &[Label("soft_work".into()), R(Reg::new(0))], None);
+    a.insn(
+        Opcode::Movl,
+        &[Label("soft_work".into()), R(Reg::new(0))],
+        None,
+    );
     a.insn(Opcode::Addl2, &[Lit(1), R(Reg::new(0))], None);
-    a.insn(Opcode::Movl, &[R(Reg::new(0)), Label("soft_work".into())], None);
+    a.insn(
+        Opcode::Movl,
+        &[R(Reg::new(0)), Label("soft_work".into())],
+        None,
+    );
     a.insn(Opcode::Bicl2, &[Lit(0), R(Reg::new(1))], None);
     a.insn(Opcode::Popr, &[Lit(0b11)], None);
     a.insn(Opcode::Rei, &[], None);
@@ -143,12 +163,12 @@ pub fn build(origin: u32, pcb_vas: &[u32], config: KernelConfig) -> (Image, Kern
     // ---- CHMK dispatcher ----
     // Stack on entry: [code][PC][PSL], lowest first.
     a.label("chmk_handler");
-    a.insn(Opcode::Movl, &[Operand::AutoInc(Reg::SP), R(Reg::new(0))], None);
     a.insn(
-        Opcode::Caseb,
-        &[R(Reg::new(0)), Lit(0), Lit(2)],
+        Opcode::Movl,
+        &[Operand::AutoInc(Reg::SP), R(Reg::new(0))],
         None,
     );
+    a.insn(Opcode::Caseb, &[R(Reg::new(0)), Lit(0), Lit(2)], None);
     a.case_table(&["svc_null", "svc_queue", "svc_yield"]);
     // Out-of-range service code: return.
     a.insn(Opcode::Rei, &[], None);
@@ -231,7 +251,11 @@ mod tests {
 
     #[test]
     fn kernel_assembles() {
-        let (image, entries) = build(0x8000_0200, &[0x8000_1000, 0x8000_1200], KernelConfig::default());
+        let (image, entries) = build(
+            0x8000_0200,
+            &[0x8000_1000, 0x8000_1200],
+            KernelConfig::default(),
+        );
         assert_eq!(entries.boot, 0x8000_0200);
         assert!(entries.timer_isr > entries.boot);
         assert!(image.bytes.len() > 100);
@@ -248,7 +272,9 @@ mod tests {
         let off = (image.addr_of("pcbtab") - image.origin) as usize;
         for (i, &pcb) in pcbs.iter().enumerate() {
             let v = u32::from_le_bytes(
-                image.bytes[off + 4 * i..off + 4 * i + 4].try_into().unwrap(),
+                image.bytes[off + 4 * i..off + 4 * i + 4]
+                    .try_into()
+                    .unwrap(),
             );
             assert_eq!(v, pcb);
         }

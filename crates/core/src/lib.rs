@@ -29,8 +29,10 @@
 
 pub mod kernel;
 pub mod measurement;
+pub mod sampler;
 pub mod system;
 
 pub use kernel::KernelConfig;
 pub use measurement::Measurement;
+pub use sampler::{IntervalSample, TimeSeries};
 pub use system::{ProcessSpec, System, SystemBuilder, SystemConfig};

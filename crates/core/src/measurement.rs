@@ -8,8 +8,9 @@ use vax_mem::MemStats;
 /// planes), the CPU's own counters, and the memory-system counters.
 ///
 /// Measurements are mergeable — the paper's composite workload is "the sum
-/// of the five UPC histograms".
-#[derive(Debug, Clone)]
+/// of the five UPC histograms" — and diffable, which is how the interval
+/// sampler derives per-interval deltas from cumulative counters.
+#[derive(Debug, Clone, Default)]
 pub struct Measurement {
     /// The histogram board contents.
     pub hist: Histogram,
@@ -39,22 +40,25 @@ impl Measurement {
     pub fn merge(&mut self, other: &Measurement) {
         self.hist.merge(&other.hist);
         self.cpu_stats.merge(&other.cpu_stats);
-        let o = &other.mem_stats;
-        let s = &mut self.mem_stats;
-        s.d_reads += o.d_reads;
-        s.d_read_misses += o.d_read_misses;
-        s.d_writes += o.d_writes;
-        s.d_write_hits += o.d_write_hits;
-        s.i_reads += o.i_reads;
-        s.i_read_misses += o.i_read_misses;
-        s.tb_miss_d += o.tb_miss_d;
-        s.tb_miss_i += o.tb_miss_i;
-        s.unaligned_refs += o.unaligned_refs;
-        s.pte_reads += o.pte_reads;
-        s.pte_read_misses += o.pte_read_misses;
-        s.read_stall_cycles += o.read_stall_cycles;
-        s.write_stall_cycles += o.write_stall_cycles;
+        self.mem_stats.merge(&other.mem_stats);
         self.cycles += other.cycles;
+    }
+
+    /// Component-wise `self - earlier`: the activity between two cumulative
+    /// snapshots of the same machine.
+    ///
+    /// # Panics
+    /// Panics if any counter of `earlier` exceeds its value in `self`.
+    pub fn diff(&self, earlier: &Measurement) -> Measurement {
+        Measurement {
+            hist: self.hist.diff(&earlier.hist),
+            cpu_stats: self.cpu_stats.diff(&earlier.cpu_stats),
+            mem_stats: self.mem_stats.diff(&earlier.mem_stats),
+            cycles: self
+                .cycles
+                .checked_sub(earlier.cycles)
+                .expect("Measurement::diff: cycle counter ran backwards"),
+        }
     }
 }
 
@@ -63,12 +67,7 @@ mod tests {
     use super::*;
 
     fn empty() -> Measurement {
-        Measurement {
-            hist: Histogram::new_16k(),
-            cpu_stats: CpuStats::new(),
-            mem_stats: MemStats::new(),
-            cycles: 0,
-        }
+        Measurement::default()
     }
 
     #[test]
@@ -94,5 +93,29 @@ mod tests {
         assert_eq!(a.cycles, 150);
         assert_eq!(a.instructions(), 15);
         assert_eq!(a.mem_stats.d_reads, 7);
+    }
+
+    #[test]
+    fn diff_inverts_merge() {
+        let mut later = empty();
+        later.cycles = 150;
+        later.cpu_stats.instructions = 15;
+        later.mem_stats.d_reads = 7;
+        later.mem_stats.read_stall_cycles = 30;
+        let mut earlier = empty();
+        earlier.cycles = 100;
+        earlier.cpu_stats.instructions = 10;
+        earlier.mem_stats.d_reads = 5;
+        earlier.mem_stats.read_stall_cycles = 12;
+        let delta = later.diff(&earlier);
+        assert_eq!(delta.cycles, 50);
+        assert_eq!(delta.instructions(), 5);
+        assert_eq!(delta.mem_stats.d_reads, 2);
+        assert_eq!(delta.mem_stats.read_stall_cycles, 18);
+        // Adding the delta back reproduces the later snapshot's counters.
+        let mut rebuilt = earlier.clone();
+        rebuilt.merge(&delta);
+        assert_eq!(rebuilt.cycles, later.cycles);
+        assert_eq!(rebuilt.mem_stats, later.mem_stats);
     }
 }

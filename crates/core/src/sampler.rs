@@ -1,0 +1,168 @@
+//! Interval sampling: a time series of per-interval [`Measurement`] deltas.
+//!
+//! The paper's histogram board accumulates over a whole run; this module
+//! adds the time dimension. [`crate::System::measure_sampled`] snapshots the
+//! cumulative counters roughly every `interval_cycles` cycles and stores the
+//! *delta* from the previous snapshot, so each [`IntervalSample`] is a small
+//! self-contained measurement of that slice of simulated time: its CPI, its
+//! stall breakdown, its interrupt headway. Summing every sample reproduces
+//! the whole-run measurement exactly (counter conservation), which the test
+//! suite checks.
+
+use crate::measurement::Measurement;
+
+/// One interval's worth of activity.
+#[derive(Debug, Clone)]
+pub struct IntervalSample {
+    /// Cycle number (since measurement start) at the start of the interval.
+    pub start_cycle: u64,
+    /// Cycle number at the end of the interval.
+    pub end_cycle: u64,
+    /// The delta measurement for this interval.
+    pub delta: Measurement,
+}
+
+impl IntervalSample {
+    /// Interval length in cycles.
+    pub fn cycles(&self) -> u64 {
+        self.end_cycle - self.start_cycle
+    }
+
+    /// CPI over this interval alone.
+    pub fn cpi(&self) -> f64 {
+        self.delta.cpi()
+    }
+
+    /// Read-stall cycles in this interval.
+    pub fn read_stalls(&self) -> u64 {
+        self.delta.mem_stats.read_stall_cycles
+    }
+
+    /// Write-stall cycles in this interval.
+    pub fn write_stalls(&self) -> u64 {
+        self.delta.mem_stats.write_stall_cycles
+    }
+
+    /// Mean cycles between interrupts in this interval (interrupt headway,
+    /// Table 7). Zero when no interrupt fell in the interval.
+    pub fn interrupt_headway(&self) -> f64 {
+        let n = self.delta.cpu_stats.total_interrupts();
+        if n == 0 {
+            return 0.0;
+        }
+        self.cycles() as f64 / n as f64
+    }
+}
+
+/// The sampled run: ordered, contiguous intervals.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    /// Samples in time order; `samples[i].end_cycle ==
+    /// samples[i+1].start_cycle`.
+    pub samples: Vec<IntervalSample>,
+}
+
+impl TimeSeries {
+    /// Number of intervals.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no interval was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Merge every interval back into one measurement. By construction this
+    /// equals the whole-run measurement (conservation).
+    pub fn merged(&self) -> Measurement {
+        let mut total = Measurement::default();
+        for s in &self.samples {
+            total.merge(&s.delta);
+        }
+        total
+    }
+
+    /// Render as CSV: one row per interval with the headline per-interval
+    /// statistics (cycles, instructions, CPI, stall breakdown, events).
+    pub fn to_csv(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from(
+            "start_cycle,end_cycle,cycles,instructions,cpi,\
+             read_stall_cycles,write_stall_cycles,ib_reads,\
+             cache_read_misses,tb_misses,interrupts,context_switches,\
+             interrupt_headway\n",
+        );
+        for s in &self.samples {
+            let d = &s.delta;
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{:.4},{},{},{},{},{},{},{},{:.1}",
+                s.start_cycle,
+                s.end_cycle,
+                s.cycles(),
+                d.instructions(),
+                s.cpi(),
+                s.read_stalls(),
+                s.write_stalls(),
+                d.mem_stats.i_reads,
+                d.mem_stats.total_read_misses(),
+                d.mem_stats.total_tb_misses(),
+                d.cpu_stats.total_interrupts(),
+                d.cpu_stats.context_switches,
+                s.interrupt_headway(),
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(start: u64, end: u64, instructions: u64) -> IntervalSample {
+        let mut delta = Measurement {
+            cycles: end - start,
+            ..Measurement::default()
+        };
+        delta.cpu_stats.instructions = instructions;
+        delta.mem_stats.read_stall_cycles = 3;
+        IntervalSample {
+            start_cycle: start,
+            end_cycle: end,
+            delta,
+        }
+    }
+
+    #[test]
+    fn merged_sums_intervals() {
+        let ts = TimeSeries {
+            samples: vec![sample(0, 100, 10), sample(100, 250, 20)],
+        };
+        let m = ts.merged();
+        assert_eq!(m.cycles, 250);
+        assert_eq!(m.instructions(), 30);
+        assert_eq!(m.mem_stats.read_stall_cycles, 6);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let ts = TimeSeries {
+            samples: vec![sample(0, 100, 10)],
+        };
+        let csv = ts.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("start_cycle,end_cycle,"));
+        assert!(lines[1].starts_with("0,100,100,10,10.0000,3,0,"));
+    }
+
+    #[test]
+    fn headway() {
+        let mut s = sample(0, 1000, 10);
+        assert_eq!(s.interrupt_headway(), 0.0);
+        s.delta.cpu_stats.hw_interrupts = 4;
+        assert!((s.interrupt_headway() - 250.0).abs() < 1e-9);
+    }
+}

@@ -10,6 +10,7 @@ use vax_mem::{MemConfig, MemorySystem, PageTables, PhysAddr, Pte, VirtAddr};
 
 use crate::kernel::{self, KernelConfig, KernelEntries};
 use crate::measurement::Measurement;
+use crate::sampler::{IntervalSample, TimeSeries};
 
 /// Whole-system configuration.
 #[derive(Debug, Clone, Copy, Default)]
@@ -121,7 +122,9 @@ impl SystemBuilder {
         for i in 0..n {
             let pfn = self.alloc_frame();
             let pte_pa = PhysAddr((first + i) * 4);
-            self.mem.phys_mut().write(pte_pa, 4, Pte::valid(pfn).0 as u64);
+            self.mem
+                .phys_mut()
+                .write(pte_pa, 4, Pte::valid(pfn).0 as u64);
         }
         self.next_sys_page += n;
         VirtAddr(S0_BASE + first * PAGE_SIZE)
@@ -132,10 +135,7 @@ impl SystemBuilder {
         let mut off = 0usize;
         while off < bytes.len() {
             let a = va.add(off as u32);
-            let pa = self
-                .mem
-                .raw_translate(a)
-                .expect("poke target not mapped");
+            let pa = self.mem.raw_translate(a).expect("poke target not mapped");
             let in_page = (PAGE_SIZE - a.offset()) as usize;
             let take = in_page.min(bytes.len() - off);
             self.mem.phys_mut().load(pa, &bytes[off..off + take]);
@@ -280,20 +280,86 @@ impl System {
     /// instructions with the monitor running — the paper's experimental
     /// procedure. Returns the measurement.
     pub fn measure(&mut self, warmup: u64, n: u64) -> Measurement {
+        let base = self.begin_measurement(warmup);
+        self.run_instructions(n);
+        self.cpu.hist.stop();
+        self.snapshot(base)
+    }
+
+    /// [`System::measure`] plus interval sampling: the cumulative counters
+    /// are snapshotted at the first step boundary past each multiple of
+    /// `interval_cycles`, and each sample holds the *delta* from the
+    /// previous snapshot. Returns the whole-run measurement and the time
+    /// series; merging the series reproduces the measurement exactly.
+    ///
+    /// # Panics
+    /// Panics if `interval_cycles` is zero.
+    pub fn measure_sampled(
+        &mut self,
+        warmup: u64,
+        n: u64,
+        interval_cycles: u64,
+    ) -> (Measurement, TimeSeries) {
+        assert!(interval_cycles > 0, "interval_cycles must be positive");
+        let base = self.begin_measurement(warmup);
+        let mut series = TimeSeries::default();
+        let mut prev = Measurement::default();
+        let mut prev_cycle = 0u64;
+        let mut next_boundary = interval_cycles;
+        for _ in 0..n {
+            if let StepOutcome::Halted = self.cpu.step() {
+                break;
+            }
+            // Instructions are not preemptible: the boundary is the first
+            // step boundary at or past the interval mark.
+            let rel = self.cpu.cycle - base;
+            if rel >= next_boundary {
+                let cum = self.snapshot(base);
+                series.samples.push(IntervalSample {
+                    start_cycle: prev_cycle,
+                    end_cycle: rel,
+                    delta: cum.diff(&prev),
+                });
+                prev = cum;
+                prev_cycle = rel;
+                while next_boundary <= rel {
+                    next_boundary += interval_cycles;
+                }
+            }
+        }
+        self.cpu.hist.stop();
+        let total = self.snapshot(base);
+        let rel = self.cpu.cycle - base;
+        if rel > prev_cycle {
+            // Final partial interval.
+            series.samples.push(IntervalSample {
+                start_cycle: prev_cycle,
+                end_cycle: rel,
+                delta: total.diff(&prev),
+            });
+        }
+        (total, series)
+    }
+
+    /// Warm up and reset every counter; returns the base cycle number.
+    fn begin_measurement(&mut self, warmup: u64) -> u64 {
         self.cpu.hist.stop();
         self.run_instructions(warmup);
         self.cpu.hist.clear();
         self.cpu.stats = vax_cpu::CpuStats::new();
         self.cpu.mem.stats.clear();
-        let cycles_before = self.cpu.cycle;
+        let base = self.cpu.cycle;
         self.cpu.hist.start();
-        self.run_instructions(n);
-        self.cpu.hist.stop();
+        base
+    }
+
+    /// The cumulative measurement since `base` (histogram cloned).
+    fn snapshot(&self, base: u64) -> Measurement {
         Measurement {
             hist: self.cpu.hist.clone(),
             cpu_stats: self.cpu.stats.clone(),
             mem_stats: self.cpu.mem.stats,
-            cycles: self.cpu.cycle - cycles_before,
+            cycles: self.cpu.cycle - base,
         }
     }
 }

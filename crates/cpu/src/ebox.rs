@@ -13,17 +13,19 @@
 //! * a TB miss charges one abort cycle plus the MemMgmt service routine;
 //! * microcode patches charge periodic abort cycles.
 
-use upc_monitor::{Histogram, MicroPc, Plane, Region};
+use upc_monitor::{Histogram, MicroOp, MicroPc, Plane, Region};
 use vax_arch::psl::AccessMode;
 use vax_arch::{
     AccessType, AddressingMode, BranchKind, DataType, Instruction, Opcode, OperandKind, Psl, Reg,
     Specifier,
 };
 use vax_mem::addr::PAGE_SIZE;
+use vax_mem::trace::{StallClass, TraceEvent};
 use vax_mem::{MemorySystem, PhysAddr, RefClass, VirtAddr};
 
 use crate::config::CpuConfig;
 use crate::exec::{self, Flow};
+use crate::flight::FlightRecorder;
 use crate::ib::Ib;
 use crate::ipr::Ipr;
 use crate::operand::{EvaldOperand, Loc, PendingWb};
@@ -69,6 +71,9 @@ pub struct Cpu {
     pub iprs: Ipr,
     /// CPU-side statistics.
     pub stats: CpuStats,
+    /// Ring of recently retired instructions, dumped on fatal errors.
+    /// Disabled by default; see [`FlightRecorder::with_capacity`].
+    pub flight: FlightRecorder,
     ib: Ib,
     pending_hw: Option<(u8, u32)>,
     next_timer: u64,
@@ -92,6 +97,7 @@ impl Cpu {
             config,
             iprs: Ipr::default(),
             stats: CpuStats::new(),
+            flight: FlightRecorder::disabled(),
             ib: Ib::new(),
             pending_hw: None,
             next_timer: config.timer_interval.unwrap_or(u64::MAX),
@@ -145,11 +151,24 @@ impl Cpu {
         }
     }
 
+    // ---- fatal-error reporting ----
+
+    /// Abort the simulation: dump the flight recorder to stderr, emit an
+    /// [`TraceEvent::Exception`] for attached sinks, then panic with `msg`.
+    pub(crate) fn fatal(&self, kind: &'static str, msg: String) -> ! {
+        let (pc, cycle) = (self.regs[15], self.cycle);
+        self.mem
+            .trace
+            .emit_with(|| TraceEvent::Exception { pc, kind, cycle });
+        self.flight.dump_stderr();
+        panic!("{msg}");
+    }
+
     // ---- translation & memory reference emission ----
 
     fn translate_d(&mut self, va: VirtAddr) -> PhysAddr {
         loop {
-            if let Some(pa) = self.mem.probe_tb(va, RefClass::DStream) {
+            if let Some(pa) = self.mem.probe_tb_at(va, RefClass::DStream, self.cycle) {
                 return pa;
             }
             self.run_tb_miss(va);
@@ -164,15 +183,15 @@ impl Cpu {
         for i in 0..self.config.tb_miss_overhead {
             self.c(r.at(i as u16));
         }
-        let fill = self
-            .mem
-            .tb_fill(va, self.cycle)
-            .unwrap_or_else(|e| {
-                panic!(
+        let fill = self.mem.tb_fill(va, self.cycle).unwrap_or_else(|e| {
+            self.fatal(
+                "page-fault",
+                format!(
                     "unhandled page fault: {e} ({va}) at PC {:#010x}, regs {:x?}, psl {:?}",
                     self.regs[15], self.regs, self.psl
-                )
-            });
+                ),
+            )
+        });
         let read_upc = r.at(self.cs.tb_miss_read_off);
         for _ in 0..fill.pte_reads {
             self.hist.record(read_upc, Plane::Normal);
@@ -274,7 +293,9 @@ impl Cpu {
             self.mem.value_read(pa, size)
         } else {
             let lo = self.mem.value_read(self.raw(va), in_page);
-            let hi = self.mem.value_read(self.raw(va.add(in_page)), size - in_page);
+            let hi = self
+                .mem
+                .value_read(self.raw(va.add(in_page)), size - in_page);
             lo | (hi << (8 * in_page))
         }
     }
@@ -288,15 +309,17 @@ impl Cpu {
         } else {
             let pa1 = self.raw(va);
             let pa2 = self.raw(va.add(in_page));
-            self.mem.value_write(pa1, in_page, value & ((1 << (8 * in_page)) - 1));
-            self.mem.value_write(pa2, size - in_page, value >> (8 * in_page));
+            self.mem
+                .value_write(pa1, in_page, value & ((1 << (8 * in_page)) - 1));
+            self.mem
+                .value_write(pa2, size - in_page, value >> (8 * in_page));
         }
     }
 
     fn raw(&self, va: VirtAddr) -> PhysAddr {
         self.mem
             .raw_translate(va)
-            .unwrap_or_else(|e| panic!("unmapped address {va}: {e}"))
+            .unwrap_or_else(|e| self.fatal("unmapped", format!("unmapped address {va}: {e}")))
     }
 
     // ---- I-stream consumption ----
@@ -310,6 +333,7 @@ impl Cpu {
         let mut remaining = n;
         while remaining > 0 {
             let chunk = remaining.min(4);
+            let mut stall_start: Option<u64> = None;
             loop {
                 self.ib.sync(self.cycle, &mut self.mem);
                 if self.ib.valid_bytes() >= chunk {
@@ -317,14 +341,36 @@ impl Cpu {
                 }
                 if let Some(va) = self.ib.itb_miss() {
                     self.ib.clear_itb_miss();
+                    self.end_ib_stall(&mut stall_start);
                     self.run_tb_miss(va);
                     continue;
+                }
+                if stall_start.is_none() {
+                    stall_start = Some(self.cycle);
+                    let cycle = self.cycle;
+                    self.mem.trace.emit_with(|| TraceEvent::StallBegin {
+                        class: StallClass::IbEmpty,
+                        cycle,
+                    });
                 }
                 self.hist.record(wait_upc, Plane::Normal);
                 self.tick();
             }
+            self.end_ib_stall(&mut stall_start);
             self.ib.consume(chunk);
             remaining -= chunk;
+        }
+    }
+
+    /// Close an open IB-starvation window on the trace bus.
+    fn end_ib_stall(&mut self, start: &mut Option<u64>) {
+        if let Some(from) = start.take() {
+            let now = self.cycle;
+            self.mem.trace.emit_with(|| TraceEvent::StallEnd {
+                class: StallClass::IbEmpty,
+                cycle: now,
+                cycles: now - from,
+            });
         }
     }
 
@@ -350,7 +396,10 @@ impl Cpu {
             match vax_arch::decode(&self.decode_buf) {
                 Ok(insn) => return insn,
                 Err(vax_arch::DecodeError::Truncated) if want < 64 => want += 8,
-                Err(e) => panic!("illegal instruction at {pc:#x}: {e}"),
+                Err(e) => self.fatal(
+                    "illegal-insn",
+                    format!("illegal instruction at {pc:#x}: {e}"),
+                ),
             }
         }
     }
@@ -358,6 +407,12 @@ impl Cpu {
     // ---- interrupt dispatch ----
 
     fn dispatch_interrupt(&mut self, ipl: u8, scb_slot: u32, hardware: bool) {
+        let cycle = self.cycle;
+        self.mem.trace.emit_with(|| TraceEvent::Interrupt {
+            ipl,
+            hardware,
+            cycle,
+        });
         let r = self.cs.interrupt;
         // State sequencing.
         self.c_span(r, 0, self.cs.interrupt_read_off);
@@ -428,7 +483,8 @@ impl Cpu {
         }
 
         let insn = self.fetch_decode();
-        let insn_end = self.pc().wrapping_add(insn.len);
+        let insn_pc = self.pc();
+        let insn_end = insn_pc.wrapping_add(insn.len);
 
         // IRD: wait for the opcode byte, then the one decode cycle.
         self.consume_istream(1, self.cs.ird.at(1));
@@ -444,7 +500,11 @@ impl Cpu {
             match kind {
                 OperandKind::Spec(access, dt) => {
                     let spec = insn.specifiers[spec_i];
-                    let sr: &SpecRegions = if spec_i == 0 { &self.cs.spec1 } else { &self.cs.spec26 };
+                    let sr: &SpecRegions = if spec_i == 0 {
+                        &self.cs.spec1
+                    } else {
+                        &self.cs.spec26
+                    };
                     let (ib_wait, index_prefix) = (sr.ib_wait, sr.index_prefix);
                     if spec_i == 0 {
                         first_spec_mode = Some(spec.mode);
@@ -480,6 +540,10 @@ impl Cpu {
         }
         if insn.opcode == Opcode::Ldpctx {
             self.stats.context_switches += 1;
+            let cycle = self.cycle;
+            self.mem
+                .trace
+                .emit_with(|| TraceEvent::ContextSwitch { cycle });
         }
 
         // PC now names the next sequential instruction (pushed by calls).
@@ -512,7 +576,7 @@ impl Cpu {
 
         // Control flow resolution.
         let kind = insn.opcode.branch_kind();
-        match flow {
+        let outcome = match flow {
             Flow::Normal => {
                 if kind != BranchKind::None {
                     self.stats.record_branch(kind, false);
@@ -535,7 +599,19 @@ impl Cpu {
                 StepOutcome::Retired(insn.opcode)
             }
             Flow::Halt => StepOutcome::Halted,
+        };
+        if matches!(outcome, StepOutcome::Retired(_)) {
+            self.flight.record(insn_pc, self.cycle, &insn);
+            let cycle = self.cycle;
+            self.mem.trace.emit_with(|| TraceEvent::Retire {
+                pc: insn_pc,
+                opcode: insn.opcode.byte() as u16,
+                mnemonic: insn.opcode.mnemonic(),
+                size: insn.len,
+                cycle,
+            });
         }
+        outcome
     }
 
     // ---- specifier evaluation ----
@@ -559,9 +635,29 @@ impl Cpu {
             AccessType::Modify => SpecFlavor::Modify,
             AccessType::Address | AccessType::Field => SpecFlavor::Address,
         };
-        let sr = if first { &self.cs.spec1 } else { &self.cs.spec26 };
+        let sr = if first {
+            &self.cs.spec1
+        } else {
+            &self.cs.spec26
+        };
         let r = sr.routine(spec.mode, flavor);
         let rn = spec.reg;
+
+        // Quad-width data repeats its data-reference µop at the same µPC;
+        // when that µop is the routine's entry (and references the operand,
+        // not a deferred pointer), the histogram's entry count runs one
+        // ahead of the evaluation count. Record the repeat so validation
+        // can reconcile the instruments exactly.
+        if size > 4
+            && spec.mode != AutoincrementDeferred
+            && matches!(self.cs.map.op(r.entry()), MicroOp::Read | MicroOp::Write)
+        {
+            if first {
+                self.stats.spec1_quad_repeats += 1;
+            } else {
+                self.stats.spec26_quad_repeats += 1;
+            }
+        }
 
         // Compute the effective address (with cycle emission for the
         // address-formation µops), or the value for non-memory modes.
@@ -586,9 +682,9 @@ impl Cpu {
                 self.c(r.at(1));
                 Some(VirtAddr(a))
             }
-            ByteDisp | WordDisp | LongDisp => Some(VirtAddr(
-                self.get_reg32(rn).wrapping_add(spec.value as u32),
-            )),
+            ByteDisp | WordDisp | LongDisp => {
+                Some(VirtAddr(self.get_reg32(rn).wrapping_add(spec.value as u32)))
+            }
             ByteDispDeferred | WordDispDeferred | LongDispDeferred => {
                 let ptr = VirtAddr(self.get_reg32(rn).wrapping_add(spec.value as u32));
                 self.c(r.at(0));
@@ -710,8 +806,9 @@ impl Cpu {
                         self.c(r.at(0));
                         1
                     }
-                    ByteDispDeferred | WordDispDeferred | LongDispDeferred
-                    | PcRelativeDeferred => 2,
+                    ByteDispDeferred | WordDispDeferred | LongDispDeferred | PcRelativeDeferred => {
+                        2
+                    }
                     _ => unreachable!(),
                 };
                 let v = self.read_data(r.at(data_off), a, size);
@@ -809,8 +906,8 @@ impl Cpu {
                         self.c(r.at(1));
                     }
                     AutoincrementDeferred => self.c(r.at(1)),
-                    ByteDispDeferred | WordDispDeferred | LongDispDeferred
-                    | PcRelativeDeferred => {}
+                    ByteDispDeferred | WordDispDeferred | LongDispDeferred | PcRelativeDeferred => {
+                    }
                     _ => self.c(r.at(0)),
                 }
                 (

@@ -10,6 +10,7 @@
 use upc_monitor::{MicroOp, Region};
 use vax_arch::psl::AccessMode;
 use vax_arch::{Instruction, Opcode, OpcodeGroup, Psl};
+use vax_mem::trace::TraceEvent;
 use vax_mem::VirtAddr;
 
 use crate::ebox::{mask, Cpu, VEC_CHMK};
@@ -310,7 +311,11 @@ fn exec_simple(
             ops[1].value = v;
             Flow::Normal
         }
-        Opcode::Cvtbw | Opcode::Cvtbl | Opcode::Cvtwb | Opcode::Cvtwl | Opcode::Cvtlb
+        Opcode::Cvtbw
+        | Opcode::Cvtbl
+        | Opcode::Cvtwb
+        | Opcode::Cvtwl
+        | Opcode::Cvtlb
         | Opcode::Cvtlw => {
             entry(cpu);
             let v = sext(ops[0].value, ops[0].size) as u64 & mask(ops[1].size);
@@ -459,9 +464,20 @@ fn exec_simple(
             Flow::Normal
         }
         // Conditional and unconditional displacement branches.
-        Opcode::Bneq | Opcode::Beql | Opcode::Bgtr | Opcode::Bleq | Opcode::Bgeq
-        | Opcode::Blss | Opcode::Bgtru | Opcode::Blequ | Opcode::Bvc | Opcode::Bvs
-        | Opcode::Bcc | Opcode::Bcs | Opcode::Brb | Opcode::Brw => {
+        Opcode::Bneq
+        | Opcode::Beql
+        | Opcode::Bgtr
+        | Opcode::Bleq
+        | Opcode::Bgeq
+        | Opcode::Blss
+        | Opcode::Bgtru
+        | Opcode::Blequ
+        | Opcode::Bvc
+        | Opcode::Bvs
+        | Opcode::Bcc
+        | Opcode::Bcs
+        | Opcode::Brb
+        | Opcode::Brw => {
             cpu.c(r.at(ENTRY));
             if branch_condition(&cpu.psl, op) {
                 cpu.c(r.at(REDIRECT));
@@ -509,7 +525,11 @@ fn exec_simple(
             let v = ops[1].as_i32().wrapping_add(1);
             ops[1].value = v as u32 as u64;
             cc_nz(&mut cpu.psl, v as u32 as u64, 4);
-            let taken = if op == Opcode::Aoblss { v < limit } else { v <= limit };
+            let taken = if op == Opcode::Aoblss {
+                v < limit
+            } else {
+                v <= limit
+            };
             if taken {
                 cpu.c(r.at(REDIRECT));
                 Flow::TakenDisp
@@ -545,8 +565,7 @@ fn exec_simple(
             let table = cpu.regs[15]; // instruction end
             let i = sel.wrapping_sub(base) & mask(size);
             let target = if i <= limit {
-                let disp =
-                    cpu.read_data(r.at(READ), VirtAddr(table.wrapping_add(2 * i as u32)), 2);
+                let disp = cpu.read_data(r.at(READ), VirtAddr(table.wrapping_add(2 * i as u32)), 2);
                 table.wrapping_add(sext(disp, 2) as u32)
             } else {
                 table.wrapping_add(2 * (limit as u32 + 1))
@@ -674,7 +693,11 @@ fn exec_field(cpu: &mut Cpu, r: Region, insn: &Instruction, ops: &mut [EvaldOper
             cpu.c_span(r, CALC1, 3);
             cpu.c(r.at(POST));
             cpu.c(r.at(MERGE));
-            let scan = if op == Opcode::Ffs { raw } else { !raw & mask_bits(size) };
+            let scan = if op == Opcode::Ffs {
+                raw
+            } else {
+                !raw & mask_bits(size)
+            };
             let found = scan.trailing_zeros().min(size);
             cpu.psl.z = found == size;
             ops[3].value = (pos as u64).wrapping_add(found as u64) & mask(4);
@@ -704,7 +727,7 @@ fn exec_field(cpu: &mut Cpu, r: Region, insn: &Instruction, ops: &mut [EvaldOper
                     let old = cpu.read_data(r.at(READ), lw, 4);
                     cpu.c(r.at(MERGE));
                     cpu.c(r.at(MERGE));
-                    let shift = ((ops[3].value as u64 * 8).wrapping_add(pos as u64) & 31) as u32;
+                    let shift = ((ops[3].value * 8).wrapping_add(pos as u64) & 31) as u32;
                     if shift + size <= 32 {
                         let m = mask_bits(size) << shift;
                         let v = (old & !m) | ((src << shift) & m);
@@ -722,8 +745,14 @@ fn exec_field(cpu: &mut Cpu, r: Region, insn: &Instruction, ops: &mut [EvaldOper
             Flow::Normal
         }
         // Bit branches (single-bit fields).
-        Opcode::Bbs | Opcode::Bbc | Opcode::Bbss | Opcode::Bbcs | Opcode::Bbsc
-        | Opcode::Bbcc | Opcode::Bbssi | Opcode::Bbcci => {
+        Opcode::Bbs
+        | Opcode::Bbc
+        | Opcode::Bbss
+        | Opcode::Bbcs
+        | Opcode::Bbsc
+        | Opcode::Bbcc
+        | Opcode::Bbssi
+        | Opcode::Bbcci => {
             let pos = sext(ops[0].value, 4);
             cpu.c(r.at(CALC2));
             let (bitval, written) = match ops[1].loc {
@@ -836,7 +865,11 @@ fn exec_float(cpu: &mut Cpu, r: Region, insn: &Instruction, ops: &mut [EvaldOper
         }
         Opcode::Divf2 | Opcode::Divf3 => {
             let d = f32_of(ops[0].value);
-            let v = if d == 0.0 { 0.0 } else { f32_of(ops[1].value) / d };
+            let v = if d == 0.0 {
+                0.0
+            } else {
+                f32_of(ops[1].value) / d
+            };
             ops[dst].value = v.to_bits() as u64;
             set_float_cc(&mut cpu.psl, v as f64);
         }
@@ -857,7 +890,11 @@ fn exec_float(cpu: &mut Cpu, r: Region, insn: &Instruction, ops: &mut [EvaldOper
         }
         Opcode::Divd2 | Opcode::Divd3 => {
             let d = f64_of(ops[0].value);
-            let v = if d == 0.0 { 0.0 } else { f64_of(ops[1].value) / d };
+            let v = if d == 0.0 {
+                0.0
+            } else {
+                f64_of(ops[1].value) / d
+            };
             ops[dst].value = v.to_bits();
             set_float_cc(&mut cpu.psl, v);
         }
@@ -926,7 +963,11 @@ fn exec_float(cpu: &mut Cpu, r: Region, insn: &Instruction, ops: &mut [EvaldOper
             cc_nz(&mut cpu.psl, v, size);
             ops[dst].value = v;
         }
-        Opcode::Divb2 | Opcode::Divw2 | Opcode::Divl2 | Opcode::Divb3 | Opcode::Divw3
+        Opcode::Divb2
+        | Opcode::Divw2
+        | Opcode::Divl2
+        | Opcode::Divb3
+        | Opcode::Divw3
         | Opcode::Divl3 => {
             let size = ops[0].size;
             let d = sext(ops[0].value, size);
@@ -1007,11 +1048,19 @@ fn exec_callret(cpu: &mut Cpu, r: Region, insn: &Instruction, ops: &mut [EvaldOp
             let dst = ops[1].value as u32;
             cpu.c_span(r, SETUP, 8);
             let entry_mask = cpu.read_data(r.at(POP), VirtAddr(dst), 2) as u32 & 0x0FFF;
-            let numarg = if is_calls { ops[0].value as u32 & 0xFF } else { 0 };
+            let numarg = if is_calls {
+                ops[0].value as u32 & 0xFF
+            } else {
+                0
+            };
             if is_calls {
                 push32(cpu, r, 3, numarg);
             }
-            let ap_val = if is_calls { cpu.regs[14] } else { ops[0].value as u32 };
+            let ap_val = if is_calls {
+                cpu.regs[14]
+            } else {
+                ops[0].value as u32
+            };
             // Saved registers, highest first so they end up ascending.
             for reg in (0..12u8).rev() {
                 if entry_mask & (1 << reg) != 0 {
@@ -1095,9 +1144,28 @@ fn exec_system(cpu: &mut Cpu, r: Region, insn: &Instruction, ops: &mut [EvaldOpe
         Opcode::Bpt => {
             cpu.c_span(r, SETUP, 4);
             cpu.stats.exceptions += 1;
+            let (pc, cycle) = (cpu.regs[15], cpu.cycle);
+            cpu.mem.trace.emit_with(|| TraceEvent::Exception {
+                pc,
+                kind: "bpt",
+                cycle,
+            });
+            // A breakpoint is the debugging entry point: dump the flight
+            // recorder so the trap site comes with its instruction history.
+            cpu.flight.dump_stderr();
             Flow::Normal
         }
         Opcode::Chmk | Opcode::Chme | Opcode::Chms | Opcode::Chmu => {
+            let kind = match insn.opcode {
+                Opcode::Chmk => "chmk",
+                Opcode::Chme => "chme",
+                Opcode::Chms => "chms",
+                _ => "chmu",
+            };
+            let (pc, cycle) = (cpu.regs[15], cpu.cycle);
+            cpu.mem
+                .trace
+                .emit_with(|| TraceEvent::Exception { pc, kind, cycle });
             cpu.c_span(r, SETUP, 10);
             let code = ops[0].value as u32;
             // Push PSL, PC, then the change-mode code.
@@ -1249,7 +1317,12 @@ fn exec_system(cpu: &mut Cpu, r: Region, insn: &Instruction, ops: &mut [EvaldOpe
             let flink = cpu.read_data(r.at(READ), VirtAddr(entry), 4) as u32;
             let blink = cpu.read_data(r.at(READ), VirtAddr(entry.wrapping_add(4)), 4) as u32;
             cpu.write_data(r.at(WRITE), VirtAddr(blink), 4, flink as u64);
-            cpu.write_data(r.at(WRITE), VirtAddr(flink.wrapping_add(4)), 4, blink as u64);
+            cpu.write_data(
+                r.at(WRITE),
+                VirtAddr(flink.wrapping_add(4)),
+                4,
+                blink as u64,
+            );
             ops[1].value = entry as u64;
             cpu.psl.z = flink == blink; // queue now empty
             cpu.c_span(r, FINISH, 2);
@@ -1390,7 +1463,11 @@ fn exec_character(cpu: &mut Cpu, r: Region, insn: &Instruction, ops: &mut [Evald
             let mut found = len;
             for i in 0..len {
                 let b = cpu.read_value(addr.add(i), 1) as u8;
-                let hit = if insn.opcode == Opcode::Locc { b == ch } else { b != ch };
+                let hit = if insn.opcode == Opcode::Locc {
+                    b == ch
+                } else {
+                    b != ch
+                };
                 if hit {
                     found = i;
                     break;

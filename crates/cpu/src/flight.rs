@@ -1,0 +1,158 @@
+//! The flight recorder: a bounded ring of the last K retired instructions.
+//!
+//! When the simulator dies — an unhandled page fault, an illegal
+//! instruction, an unmapped reference — the raw panic message rarely says
+//! *how the machine got there*. The flight recorder keeps the last K
+//! retired instructions (PC, cycle, disassembly) in a fixed-size ring and
+//! dumps them to stderr just before the panic, giving every fatal error a
+//! short instruction-level backtrace of simulated time.
+//!
+//! Disabled (capacity 0) by default: recording disassembles every retired
+//! instruction into a `String`, which is far too expensive for measurement
+//! runs. Enable it with [`FlightRecorder::with_capacity`] when debugging a
+//! workload.
+
+use std::collections::VecDeque;
+
+use vax_arch::Instruction;
+
+/// One retired instruction as remembered by the recorder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightEntry {
+    /// PC of the instruction.
+    pub pc: u32,
+    /// Cycle at retirement.
+    pub cycle: u64,
+    /// Disassembled form, e.g. `MOVL R1, R2`.
+    pub disasm: String,
+}
+
+/// Bounded ring buffer of recently retired instructions.
+#[derive(Debug, Clone, Default)]
+pub struct FlightRecorder {
+    capacity: usize,
+    ring: VecDeque<FlightEntry>,
+}
+
+impl FlightRecorder {
+    /// A disabled recorder (capacity 0; recording is a no-op).
+    pub fn disabled() -> FlightRecorder {
+        FlightRecorder::default()
+    }
+
+    /// A recorder keeping the most recent `capacity` instructions.
+    pub fn with_capacity(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            capacity,
+            ring: VecDeque::with_capacity(capacity),
+        }
+    }
+
+    /// Whether recording is active.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Record a retirement. No-op when disabled.
+    #[inline]
+    pub fn record(&mut self, pc: u32, cycle: u64, insn: &Instruction) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(FlightEntry {
+            pc,
+            cycle,
+            disasm: insn.to_string(),
+        });
+    }
+
+    /// The retained entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &FlightEntry> {
+        self.ring.iter()
+    }
+
+    /// Number of retained entries (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Render the ring as a human-readable report (oldest first).
+    pub fn report(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "flight recorder: last {} retired instruction(s)",
+            self.ring.len()
+        );
+        for e in &self.ring {
+            let _ = writeln!(
+                out,
+                "  cycle {:>12}  pc {:#010x}  {}",
+                e.cycle, e.pc, e.disasm
+            );
+        }
+        out
+    }
+
+    /// Dump the report to stderr (called on fatal simulation errors).
+    pub fn dump_stderr(&self) {
+        if !self.ring.is_empty() {
+            eprintln!("{}", self.report());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vax_arch::{Opcode, Reg, Specifier};
+
+    fn movl() -> Instruction {
+        Instruction::new(
+            Opcode::Movl,
+            vec![
+                Specifier::register(Reg::new(1)),
+                Specifier::register(Reg::new(2)),
+            ],
+            None,
+        )
+    }
+
+    #[test]
+    fn caps_at_capacity() {
+        let mut fr = FlightRecorder::with_capacity(4);
+        for i in 0..10 {
+            fr.record(0x200 + i, i as u64, &movl());
+        }
+        assert_eq!(fr.len(), 4);
+        let pcs: Vec<u32> = fr.entries().map(|e| e.pc).collect();
+        assert_eq!(pcs, vec![0x206, 0x207, 0x208, 0x209], "keeps the newest");
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut fr = FlightRecorder::disabled();
+        fr.record(0x200, 1, &movl());
+        assert!(fr.is_empty());
+        assert!(!fr.is_enabled());
+    }
+
+    #[test]
+    fn report_contains_disassembly() {
+        let mut fr = FlightRecorder::with_capacity(2);
+        fr.record(0x200, 42, &movl());
+        let rep = fr.report();
+        assert!(rep.contains("MOVL"), "{rep}");
+        assert!(rep.contains("0x00000200"), "{rep}");
+    }
+}

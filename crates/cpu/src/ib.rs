@@ -81,7 +81,7 @@ impl Ib {
         }
         if self.pending.is_none() && self.itb_miss.is_none() && self.valid < IB_BYTES {
             let va = VirtAddr(self.vpc);
-            match mem.probe_tb(va, RefClass::IStream) {
+            match mem.probe_tb_at(va, RefClass::IStream, now) {
                 None => self.itb_miss = Some(va),
                 Some(pa) => {
                     let lw_pa = PhysAddr(pa.0 & !3);
@@ -194,7 +194,11 @@ mod tests {
             ib.sync(t, &mut ms);
             t += 1;
         }
-        assert_eq!(ib.valid_bytes(), 1, "first fill delivers the partial longword");
+        assert_eq!(
+            ib.valid_bytes(),
+            1,
+            "first fill delivers the partial longword"
+        );
     }
 
     #[test]

@@ -28,6 +28,7 @@
 pub mod config;
 pub mod ebox;
 pub mod exec;
+pub mod flight;
 pub mod ib;
 pub mod ipr;
 pub mod operand;
@@ -36,6 +37,7 @@ pub mod store;
 
 pub use config::CpuConfig;
 pub use ebox::{Cpu, StepOutcome};
+pub use flight::{FlightEntry, FlightRecorder};
 pub use ipr::Ipr;
 pub use stats::CpuStats;
 pub use store::ControlStore;

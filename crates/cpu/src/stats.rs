@@ -34,6 +34,14 @@ pub struct CpuStats {
     pub spec1_count: u64,
     /// Operand specifiers evaluated in positions 2–6.
     pub spec26_count: u64,
+    /// Quad-width first-specifier evaluations whose repeated data µop lands
+    /// on the routine's entry address (RegisterDeferred and Autoincrement
+    /// data-at-entry routines). The histogram's entry count exceeds
+    /// `spec1_count` by exactly this amount; the validation pass uses it to
+    /// reconcile the two instruments.
+    pub spec1_quad_repeats: u64,
+    /// Same for specifiers in positions 2–6.
+    pub spec26_quad_repeats: u64,
     /// Branch displacements present on retired instructions.
     pub branch_disps: u64,
 }
@@ -54,6 +62,8 @@ impl CpuStats {
             exceptions: 0,
             spec1_count: 0,
             spec26_count: 0,
+            spec1_quad_repeats: 0,
+            spec26_quad_repeats: 0,
             branch_disps: 0,
         }
     }
@@ -124,7 +134,46 @@ impl CpuStats {
         self.exceptions += other.exceptions;
         self.spec1_count += other.spec1_count;
         self.spec26_count += other.spec26_count;
+        self.spec1_quad_repeats += other.spec1_quad_repeats;
+        self.spec26_quad_repeats += other.spec26_quad_repeats;
         self.branch_disps += other.branch_disps;
+    }
+
+    /// Counter-wise `self - earlier` (interval sampling).
+    ///
+    /// # Panics
+    /// Panics if any counter in `earlier` exceeds its value in `self` — the
+    /// snapshots were taken out of order or from different machines.
+    pub fn diff(&self, earlier: &CpuStats) -> CpuStats {
+        fn sub(a: u64, b: u64) -> u64 {
+            a.checked_sub(b)
+                .expect("CpuStats::diff: counter ran backwards")
+        }
+        let mut out = self.clone();
+        out.instructions = sub(self.instructions, earlier.instructions);
+        out.istream_bytes = sub(self.istream_bytes, earlier.istream_bytes);
+        for (o, (a, b)) in out
+            .opcode_counts
+            .iter_mut()
+            .zip(self.opcode_counts.iter().zip(&earlier.opcode_counts))
+        {
+            *o = sub(*a, *b);
+        }
+        for i in 0..10 {
+            out.branch_executed[i] = sub(self.branch_executed[i], earlier.branch_executed[i]);
+            out.branch_taken[i] = sub(self.branch_taken[i], earlier.branch_taken[i]);
+        }
+        out.hw_interrupts = sub(self.hw_interrupts, earlier.hw_interrupts);
+        out.sw_interrupts = sub(self.sw_interrupts, earlier.sw_interrupts);
+        out.sw_interrupt_requests = sub(self.sw_interrupt_requests, earlier.sw_interrupt_requests);
+        out.context_switches = sub(self.context_switches, earlier.context_switches);
+        out.exceptions = sub(self.exceptions, earlier.exceptions);
+        out.spec1_count = sub(self.spec1_count, earlier.spec1_count);
+        out.spec26_count = sub(self.spec26_count, earlier.spec26_count);
+        out.spec1_quad_repeats = sub(self.spec1_quad_repeats, earlier.spec1_quad_repeats);
+        out.spec26_quad_repeats = sub(self.spec26_quad_repeats, earlier.spec26_quad_repeats);
+        out.branch_disps = sub(self.branch_disps, earlier.branch_disps);
+        out
     }
 }
 

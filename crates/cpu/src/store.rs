@@ -96,22 +96,14 @@ fn spec_ops(mode: AddressingMode, flavor: SpecFlavor) -> Option<Vec<MicroOp>> {
         (ByteDisp | WordDisp | LongDisp, SpecFlavor::Modify) => vec![C, R, W],
         (ByteDisp | WordDisp | LongDisp, SpecFlavor::Address) => vec![C],
 
-        (
-            ByteDispDeferred | WordDispDeferred | LongDispDeferred,
-            SpecFlavor::Read,
-        ) => vec![C, R, R],
-        (
-            ByteDispDeferred | WordDispDeferred | LongDispDeferred,
-            SpecFlavor::Write,
-        ) => vec![C, R, W],
-        (
-            ByteDispDeferred | WordDispDeferred | LongDispDeferred,
-            SpecFlavor::Modify,
-        ) => vec![C, R, R, W],
-        (
-            ByteDispDeferred | WordDispDeferred | LongDispDeferred,
-            SpecFlavor::Address,
-        ) => vec![C, R],
+        (ByteDispDeferred | WordDispDeferred | LongDispDeferred, SpecFlavor::Read) => vec![C, R, R],
+        (ByteDispDeferred | WordDispDeferred | LongDispDeferred, SpecFlavor::Write) => {
+            vec![C, R, W]
+        }
+        (ByteDispDeferred | WordDispDeferred | LongDispDeferred, SpecFlavor::Modify) => {
+            vec![C, R, R, W]
+        }
+        (ByteDispDeferred | WordDispDeferred | LongDispDeferred, SpecFlavor::Address) => vec![C, R],
 
         (Immediate, SpecFlavor::Read) => vec![C],
         (Immediate, _) => return None,
@@ -159,11 +151,7 @@ impl SpecRegions {
         let ib_wait = map
             .alloc(&format!("{prefix}.IBWAIT"), activity, &[MicroOp::IbWait])
             .entry();
-        let index_prefix = map.alloc(
-            &format!("{prefix}.INDEX"),
-            activity,
-            &[MicroOp::Compute],
-        );
+        let index_prefix = map.alloc(&format!("{prefix}.INDEX"), activity, &[MicroOp::Compute]);
         SpecRegions {
             regions,
             ib_wait,
@@ -182,7 +170,12 @@ impl SpecRegions {
     }
 
     /// The µop shape of the routine (same convention as the map).
-    pub fn ops(&self, map: &ControlStoreMap, mode: AddressingMode, flavor: SpecFlavor) -> Vec<MicroOp> {
+    pub fn ops(
+        &self,
+        map: &ControlStoreMap,
+        mode: AddressingMode,
+        flavor: SpecFlavor,
+    ) -> Vec<MicroOp> {
         let r = self.routine(mode, flavor);
         (0..r.len).map(|i| map.op(r.at(i))).collect()
     }
@@ -317,9 +310,7 @@ mod tests {
     #[test]
     fn spec_routines_exist() {
         let cs = ControlStore::new(&CpuConfig::default());
-        let r = cs
-            .spec1
-            .routine(AddressingMode::ByteDisp, SpecFlavor::Read);
+        let r = cs.spec1.routine(AddressingMode::ByteDisp, SpecFlavor::Read);
         assert_eq!(r.len, 2);
         assert_eq!(cs.map.op(r.at(0)), MicroOp::Compute);
         assert_eq!(cs.map.op(r.at(1)), MicroOp::Read);
@@ -335,9 +326,7 @@ mod tests {
     #[should_panic(expected = "no specifier routine")]
     fn literal_write_impossible() {
         let cs = ControlStore::new(&CpuConfig::default());
-        let _ = cs
-            .spec1
-            .routine(AddressingMode::Literal, SpecFlavor::Write);
+        let _ = cs.spec1.routine(AddressingMode::Literal, SpecFlavor::Write);
     }
 
     #[test]
@@ -353,14 +342,8 @@ mod tests {
     fn tb_miss_shape() {
         let config = CpuConfig::default();
         let cs = ControlStore::new(&config);
-        assert_eq!(
-            cs.map.op(cs.tb_miss.at(cs.tb_miss_read_off)),
-            MicroOp::Read
-        );
-        assert_eq!(
-            cs.tb_miss.len as u32,
-            config.tb_miss_overhead + 2
-        );
+        assert_eq!(cs.map.op(cs.tb_miss.at(cs.tb_miss_read_off)), MicroOp::Read);
+        assert_eq!(cs.tb_miss.len as u32, config.tb_miss_overhead + 2);
         assert_eq!(cs.map.activity(cs.tb_miss.entry()), Activity::MemMgmt);
     }
 

@@ -139,7 +139,7 @@ mod tests {
     #[test]
     fn vpn_offset() {
         let va = VirtAddr(0x4000_0A34);
-        assert_eq!(va.offset(), 0x34 | 0x200 & 0x1FF); // offset within 512B page
+        assert_eq!(va.offset(), 0x34); // offset within 512B page
         assert_eq!(va.offset(), 0x0234 & 0x1FF);
         assert_eq!(va.vpn(), 0x4000_0A34 >> 9);
         assert_eq!(va.region_vpn(), 0x0000_0A34 >> 9);

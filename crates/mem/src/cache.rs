@@ -60,7 +60,10 @@ impl Cache {
     /// Panics if the geometry is degenerate (non-power-of-two block size or
     /// sizes that do not divide evenly).
     pub fn new(config: CacheConfig) -> Cache {
-        assert!(config.block_bytes.is_power_of_two(), "block size must be a power of two");
+        assert!(
+            config.block_bytes.is_power_of_two(),
+            "block size must be a power of two"
+        );
         assert!(config.ways > 0);
         assert_eq!(config.size_bytes % (config.ways * config.block_bytes), 0);
         let sets = config.sets();

@@ -14,6 +14,7 @@ use crate::phys::PhysicalMemory;
 use crate::sbi::{Sbi, SbiConfig};
 use crate::stats::MemStats;
 use crate::tb::{Tb, TbConfig};
+use crate::trace::{StallClass, TraceBus, TraceEvent, TraceStream};
 use crate::writebuf::WriteBuffer;
 
 /// Which stream a reference belongs to (I-Fetch vs. EBOX data).
@@ -96,6 +97,9 @@ pub struct MemorySystem {
     pub tables: PageTables,
     /// Event counters.
     pub stats: MemStats,
+    /// Observability event bus (shared with the CPU, which owns this memory
+    /// system). Detached — and free — unless a sink is attached.
+    pub trace: TraceBus,
 }
 
 impl MemorySystem {
@@ -109,6 +113,7 @@ impl MemorySystem {
             wb: WriteBuffer::new(),
             tables: PageTables::empty(),
             stats: MemStats::new(),
+            trace: TraceBus::detached(),
         }
     }
 
@@ -141,13 +146,29 @@ impl MemorySystem {
 
     /// Probe the TB. `None` means TB miss (counted per `class`).
     pub fn probe_tb(&mut self, va: VirtAddr, class: RefClass) -> Option<PhysAddr> {
+        self.probe_tb_at(va, class, 0)
+    }
+
+    /// [`MemorySystem::probe_tb`] with a cycle stamp for the trace bus.
+    pub fn probe_tb_at(&mut self, va: VirtAddr, class: RefClass, now: u64) -> Option<PhysAddr> {
         match self.tb.probe(va) {
             Some(pfn) => Some(PhysAddr::from_pfn(pfn, va.offset())),
             None => {
-                match class {
-                    RefClass::IStream => self.stats.tb_miss_i += 1,
-                    RefClass::DStream => self.stats.tb_miss_d += 1,
-                }
+                let stream = match class {
+                    RefClass::IStream => {
+                        self.stats.tb_miss_i += 1;
+                        TraceStream::IStream
+                    }
+                    RefClass::DStream => {
+                        self.stats.tb_miss_d += 1;
+                        TraceStream::DStream
+                    }
+                };
+                self.trace.emit_with(|| TraceEvent::TbMiss {
+                    stream,
+                    va: va.0,
+                    cycle: now,
+                });
                 None
             }
         }
@@ -210,11 +231,32 @@ impl MemorySystem {
             0
         } else {
             self.stats.pte_read_misses += 1;
+            self.trace.emit_with(|| TraceEvent::CacheMiss {
+                stream: TraceStream::PteFetch,
+                pa: pa.0,
+                cycle: now,
+            });
             let done = self.sbi.read_miss(now);
             done - now
         };
-        self.stats.read_stall_cycles += stall;
+        self.note_read_stall(now, stall);
         (Pte(self.phys.read(pa, 4) as u32), stall)
+    }
+
+    /// Account a read stall and emit its begin/end pair.
+    fn note_read_stall(&mut self, now: u64, stall: u64) {
+        self.stats.read_stall_cycles += stall;
+        if stall > 0 {
+            self.trace.emit_with(|| TraceEvent::StallBegin {
+                class: StallClass::Read,
+                cycle: now,
+            });
+            self.trace.emit_with(|| TraceEvent::StallEnd {
+                class: StallClass::Read,
+                cycle: now + stall,
+                cycles: stall,
+            });
+        }
     }
 
     /// Untimed full walk (loaders and diagnostics; touches nothing).
@@ -255,10 +297,15 @@ impl MemorySystem {
             0
         } else {
             self.stats.d_read_misses += 1;
+            self.trace.emit_with(|| TraceEvent::CacheMiss {
+                stream: TraceStream::DStream,
+                pa: pa.0,
+                cycle: now,
+            });
             let done = self.sbi.read_miss(now);
             done - now
         };
-        self.stats.read_stall_cycles += stall;
+        self.note_read_stall(now, stall);
         ReadOutcome { stall, miss: !hit }
     }
 
@@ -277,6 +324,17 @@ impl MemorySystem {
         // queue behind it.
         self.sbi.write(now + stall);
         self.stats.write_stall_cycles += stall;
+        if stall > 0 {
+            self.trace.emit_with(|| TraceEvent::StallBegin {
+                class: StallClass::Write,
+                cycle: now,
+            });
+            self.trace.emit_with(|| TraceEvent::StallEnd {
+                class: StallClass::Write,
+                cycle: now + stall,
+                cycles: stall,
+            });
+        }
         stall
     }
 
@@ -292,6 +350,11 @@ impl MemorySystem {
             }
         } else {
             self.stats.i_read_misses += 1;
+            self.trace.emit_with(|| TraceEvent::CacheMiss {
+                stream: TraceStream::IStream,
+                pa: pa.0,
+                cycle: now,
+            });
             let done = self.sbi.read_miss(now);
             FillOutcome {
                 avail_at: done,
@@ -359,13 +422,15 @@ mod tests {
         // System pages are mapped 1:1 to 0x40000+.
         for vpn in 0..64u32 {
             let pfn = (0x40000 >> 9) + vpn;
-            ms.phys.write(PhysAddr(0x10000 + vpn * 4), 4, Pte::valid(pfn).0 as u64);
+            ms.phys
+                .write(PhysAddr(0x10000 + vpn * 4), 4, Pte::valid(pfn).0 as u64);
         }
         // P0 pages map to physical 0x80000+.
         for vpn in 0..16u32 {
             let pfn = (0x80000 >> 9) + vpn;
             // P0 table lives at system VA 0x8000_0000 == phys 0x40000.
-            ms.phys.write(PhysAddr(0x40000 + vpn * 4), 4, Pte::valid(pfn).0 as u64);
+            ms.phys
+                .write(PhysAddr(0x40000 + vpn * 4), 4, Pte::valid(pfn).0 as u64);
         }
         ms
     }

@@ -52,6 +52,66 @@ impl MemStats {
     pub fn total_tb_misses(&self) -> u64 {
         self.tb_miss_d + self.tb_miss_i
     }
+
+    /// Every counter, in declaration order (the single field list shared by
+    /// [`MemStats::merge`] and [`MemStats::diff`]).
+    fn fields(&self) -> [u64; 13] {
+        [
+            self.d_reads,
+            self.d_read_misses,
+            self.d_writes,
+            self.d_write_hits,
+            self.i_reads,
+            self.i_read_misses,
+            self.tb_miss_d,
+            self.tb_miss_i,
+            self.unaligned_refs,
+            self.pte_reads,
+            self.pte_read_misses,
+            self.read_stall_cycles,
+            self.write_stall_cycles,
+        ]
+    }
+
+    fn fields_mut(&mut self) -> [&mut u64; 13] {
+        [
+            &mut self.d_reads,
+            &mut self.d_read_misses,
+            &mut self.d_writes,
+            &mut self.d_write_hits,
+            &mut self.i_reads,
+            &mut self.i_read_misses,
+            &mut self.tb_miss_d,
+            &mut self.tb_miss_i,
+            &mut self.unaligned_refs,
+            &mut self.pte_reads,
+            &mut self.pte_read_misses,
+            &mut self.read_stall_cycles,
+            &mut self.write_stall_cycles,
+        ]
+    }
+
+    /// Add another counter block (composite workloads).
+    pub fn merge(&mut self, other: &MemStats) {
+        for (a, b) in self.fields_mut().into_iter().zip(other.fields()) {
+            *a += b;
+        }
+    }
+
+    /// Counter-wise `self - earlier` (interval sampling).
+    ///
+    /// # Panics
+    /// Panics if `earlier` is not a prefix snapshot of `self` (any counter
+    /// running backwards indicates mismatched snapshots).
+    pub fn diff(&self, earlier: &MemStats) -> MemStats {
+        let mut out = *self;
+        for (a, b) in out.fields_mut().into_iter().zip(earlier.fields()) {
+            *a = a
+                .checked_sub(b)
+                .expect("MemStats::diff: counter ran backwards");
+        }
+        out
+    }
 }
 
 #[cfg(test)]

@@ -220,12 +220,14 @@ mod tests {
         let mut tb = Tb::new_780();
         let sets = tb.sets_per_half;
         // Three pages mapping to the same set in a 2-way TB: one must go.
-        let conflicting: Vec<VirtAddr> =
-            (0..3).map(|i| VirtAddr((i * sets as u32) << 9)).collect();
+        let conflicting: Vec<VirtAddr> = (0..3).map(|i| VirtAddr((i * sets as u32) << 9)).collect();
         for (i, &va) in conflicting.iter().enumerate() {
             tb.insert(va, i as u32);
         }
-        let hits = conflicting.iter().filter(|&&va| tb.probe(va).is_some()).count();
+        let hits = conflicting
+            .iter()
+            .filter(|&&va| tb.probe(va).is_some())
+            .count();
         assert_eq!(hits, 2, "two-way set keeps exactly two of three");
     }
 

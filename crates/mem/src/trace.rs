@@ -1,0 +1,291 @@
+//! The trace bus: typed observability events from the simulated machine.
+//!
+//! The bus lives in `vax-mem` (the bottom of the crate stack) so both the
+//! memory system and the CPU can emit through one channel: the CPU owns the
+//! [`MemorySystem`](crate::MemorySystem), which owns the bus. Events carry
+//! only primitive payloads (opcodes as raw `u16` plus a `&'static str`
+//! mnemonic) because this crate sits below `vax-arch` and must not know the
+//! instruction set.
+//!
+//! Tracing is off by default and costs nearly nothing when off: emission
+//! sites call [`TraceBus::emit_with`] with a closure, which is skipped
+//! entirely — payload construction included — unless a sink is attached.
+//! The simulator's hot loop therefore pays one predictable branch per event
+//! site, which the optimizer folds into the surrounding code.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Which reference stream an event belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceStream {
+    /// Instruction fetch (IB fill).
+    IStream,
+    /// EBOX data reference.
+    DStream,
+    /// Microcode PTE fetch during TB-miss service.
+    PteFetch,
+}
+
+/// Why the EBOX is stalled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StallClass {
+    /// Cache read miss: EBOX waits for the SBI.
+    Read,
+    /// Write-buffer conflict: a second write inside the drain window.
+    Write,
+    /// IB starvation: decode needs bytes the IB does not have.
+    IbEmpty,
+}
+
+/// One typed event on the trace bus.
+///
+/// Cycle numbers are the CPU's microcycle counter (200 ns units) at the
+/// point of emission.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// An instruction retired.
+    Retire {
+        /// PC of the retired instruction.
+        pc: u32,
+        /// Raw opcode byte(s).
+        opcode: u16,
+        /// Mnemonic (from the opcode table).
+        mnemonic: &'static str,
+        /// Encoded instruction length in bytes.
+        size: u32,
+        /// Cycle at retirement.
+        cycle: u64,
+    },
+    /// The EBOX began stalling.
+    StallBegin {
+        /// Stall class.
+        class: StallClass,
+        /// First stalled cycle.
+        cycle: u64,
+    },
+    /// The EBOX stopped stalling.
+    StallEnd {
+        /// Stall class.
+        class: StallClass,
+        /// First cycle after the stall.
+        cycle: u64,
+        /// Stall length in cycles.
+        cycles: u64,
+    },
+    /// A reference missed the cache.
+    CacheMiss {
+        /// Which stream missed.
+        stream: TraceStream,
+        /// Physical address of the miss.
+        pa: u32,
+        /// Cycle of the reference.
+        cycle: u64,
+    },
+    /// A reference missed the translation buffer.
+    TbMiss {
+        /// Which stream missed.
+        stream: TraceStream,
+        /// Virtual address of the miss.
+        va: u32,
+        /// Cycle of the probe.
+        cycle: u64,
+    },
+    /// An interrupt was dispatched.
+    Interrupt {
+        /// Interrupt priority level being raised to.
+        ipl: u8,
+        /// True for hardware (device/timer), false for software.
+        hardware: bool,
+        /// Cycle at dispatch.
+        cycle: u64,
+    },
+    /// A context switch (LDPCTX) occurred.
+    ContextSwitch {
+        /// Cycle of the switch.
+        cycle: u64,
+    },
+    /// An exception was taken (BPT, CHMx, fatal simulation error).
+    Exception {
+        /// PC at the exception.
+        pc: u32,
+        /// Short exception kind name ("bpt", "chmk", "page-fault", ...).
+        kind: &'static str,
+        /// Cycle of the exception.
+        cycle: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Cycle stamp of the event.
+    pub fn cycle(&self) -> u64 {
+        match *self {
+            TraceEvent::Retire { cycle, .. }
+            | TraceEvent::StallBegin { cycle, .. }
+            | TraceEvent::StallEnd { cycle, .. }
+            | TraceEvent::CacheMiss { cycle, .. }
+            | TraceEvent::TbMiss { cycle, .. }
+            | TraceEvent::Interrupt { cycle, .. }
+            | TraceEvent::ContextSwitch { cycle }
+            | TraceEvent::Exception { cycle, .. } => cycle,
+        }
+    }
+
+    /// Short kind name, for counting and display.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::Retire { .. } => "retire",
+            TraceEvent::StallBegin { .. } => "stall-begin",
+            TraceEvent::StallEnd { .. } => "stall-end",
+            TraceEvent::CacheMiss { .. } => "cache-miss",
+            TraceEvent::TbMiss { .. } => "tb-miss",
+            TraceEvent::Interrupt { .. } => "interrupt",
+            TraceEvent::ContextSwitch { .. } => "context-switch",
+            TraceEvent::Exception { .. } => "exception",
+        }
+    }
+}
+
+/// A consumer of trace events.
+pub trait TraceSink {
+    /// Receive one event. Called synchronously from the emission site.
+    fn event(&mut self, ev: &TraceEvent);
+}
+
+/// A sink that discards everything (useful as an explicit placeholder).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn event(&mut self, _ev: &TraceEvent) {}
+}
+
+/// A sink that records every event in order (tests, small traces).
+#[derive(Debug, Default)]
+pub struct RecordingSink {
+    /// Every event received, in emission order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl RecordingSink {
+    /// New empty recorder.
+    pub fn new() -> RecordingSink {
+        RecordingSink::default()
+    }
+
+    /// Shared handle suitable for [`TraceBus::attach`].
+    pub fn shared() -> Rc<RefCell<RecordingSink>> {
+        Rc::new(RefCell::new(RecordingSink::new()))
+    }
+
+    /// Number of events whose [`TraceEvent::kind`] equals `kind`.
+    pub fn count(&self, kind: &str) -> u64 {
+        self.events.iter().filter(|e| e.kind() == kind).count() as u64
+    }
+}
+
+impl TraceSink for RecordingSink {
+    fn event(&mut self, ev: &TraceEvent) {
+        self.events.push(*ev);
+    }
+}
+
+/// The event bus: an optional shared sink behind an `enabled` fast-path
+/// flag.
+///
+/// Cloning a bus yields a *detached* bus (no sink): simulation state is
+/// `Clone` so experiments can snapshot a machine, but a cloned machine must
+/// not alias the original's trace consumer.
+#[derive(Debug, Default)]
+pub struct TraceBus {
+    sink: Option<Rc<RefCell<dyn TraceSink>>>,
+}
+
+impl Clone for TraceBus {
+    fn clone(&self) -> TraceBus {
+        TraceBus::detached()
+    }
+}
+
+impl std::fmt::Debug for dyn TraceSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("TraceSink")
+    }
+}
+
+impl TraceBus {
+    /// A bus with no sink attached (tracing off).
+    pub fn detached() -> TraceBus {
+        TraceBus { sink: None }
+    }
+
+    /// Attach a sink; subsequent events flow to it.
+    pub fn attach(&mut self, sink: Rc<RefCell<dyn TraceSink>>) {
+        self.sink = Some(sink);
+    }
+
+    /// Detach the sink; tracing reverts to free.
+    pub fn detach(&mut self) {
+        self.sink = None;
+    }
+
+    /// Whether a sink is attached.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Emit the event produced by `f`, if and only if a sink is attached.
+    /// The closure runs only when tracing is on, so payload construction is
+    /// free in the off state.
+    #[inline]
+    pub fn emit_with(&self, f: impl FnOnce() -> TraceEvent) {
+        if let Some(sink) = &self.sink {
+            sink.borrow_mut().event(&f());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detached_bus_never_runs_closure() {
+        let bus = TraceBus::detached();
+        let mut ran = false;
+        bus.emit_with(|| {
+            ran = true;
+            TraceEvent::ContextSwitch { cycle: 0 }
+        });
+        assert!(!ran);
+        assert!(!bus.is_enabled());
+    }
+
+    #[test]
+    fn attached_bus_delivers_in_order() {
+        let mut bus = TraceBus::detached();
+        let rec = RecordingSink::shared();
+        bus.attach(rec.clone());
+        assert!(bus.is_enabled());
+        bus.emit_with(|| TraceEvent::ContextSwitch { cycle: 3 });
+        bus.emit_with(|| TraceEvent::Interrupt {
+            ipl: 22,
+            hardware: true,
+            cycle: 9,
+        });
+        let rec = rec.borrow();
+        assert_eq!(rec.events.len(), 2);
+        assert_eq!(rec.events[0].cycle(), 3);
+        assert_eq!(rec.count("interrupt"), 1);
+    }
+
+    #[test]
+    fn clone_is_detached() {
+        let mut bus = TraceBus::detached();
+        bus.attach(RecordingSink::shared());
+        let copy = bus.clone();
+        assert!(bus.is_enabled());
+        assert!(!copy.is_enabled());
+    }
+}

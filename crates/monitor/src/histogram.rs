@@ -123,6 +123,35 @@ impl Histogram {
         }
     }
 
+    /// Bucket-wise `self - earlier` (interval sampling over a cumulative
+    /// board). The result is stopped; `running` state is not meaningful on
+    /// a derived snapshot.
+    ///
+    /// # Panics
+    /// Panics if the boards differ in size or any bucket of `earlier`
+    /// exceeds its value in `self`.
+    pub fn diff(&self, earlier: &Histogram) -> Histogram {
+        assert_eq!(
+            self.normal.len(),
+            earlier.normal.len(),
+            "cannot diff histograms of different sizes"
+        );
+        let sub = |a: &[u64], b: &[u64]| {
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| {
+                    x.checked_sub(*y)
+                        .expect("Histogram::diff: bucket ran backwards")
+                })
+                .collect()
+        };
+        Histogram {
+            normal: sub(&self.normal, &earlier.normal),
+            stalled: sub(&self.stalled, &earlier.stalled),
+            running: false,
+        }
+    }
+
     /// Iterate over non-zero buckets as (µPC, plane, count).
     pub fn nonzero(&self) -> impl Iterator<Item = (MicroPc, Plane, u64)> + '_ {
         let normals = self
@@ -138,6 +167,13 @@ impl Histogram {
             .filter(|(_, &c)| c > 0)
             .map(|(i, &c)| (MicroPc(i as u16), Plane::Stalled, c));
         normals.chain(stalls)
+    }
+}
+
+impl Default for Histogram {
+    /// The real board geometry ([`Histogram::new_16k`]), stopped and clear.
+    fn default() -> Histogram {
+        Histogram::new_16k()
     }
 }
 

@@ -198,7 +198,11 @@ impl Region {
     /// # Panics
     /// Panics if `i >= len`.
     pub fn at(self, i: u16) -> MicroPc {
-        assert!(i < self.len, "µPC offset {i} out of routine (len {})", self.len);
+        assert!(
+            i < self.len,
+            "µPC offset {i} out of routine (len {})",
+            self.len
+        );
         MicroPc(self.base.0 + i)
     }
 
@@ -304,7 +308,11 @@ mod tests {
     #[test]
     fn alloc_and_classify() {
         let mut map = ControlStoreMap::new();
-        let r1 = map.alloc("IRD", Activity::Decode, &[MicroOp::Compute, MicroOp::IbWait]);
+        let r1 = map.alloc(
+            "IRD",
+            Activity::Decode,
+            &[MicroOp::Compute, MicroOp::IbWait],
+        );
         let r2 = map.alloc(
             "SPEC.RDISP",
             Activity::Spec1,

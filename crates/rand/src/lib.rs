@@ -1,0 +1,259 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace-local
+//! crate provides the (small) API subset the simulator uses — `StdRng`,
+//! `SeedableRng::seed_from_u64`, and `Rng::{gen, gen_range, gen_bool}` —
+//! backed by xoshiro256** seeded via SplitMix64. The generator is fully
+//! deterministic and portable, which the reproduction harness relies on:
+//! the same seed always produces the same synthetic workload.
+//!
+//! It is **not** the real `rand` crate and implements nothing else.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Types a [`Rng`] can produce uniformly over their whole domain.
+pub trait Uniform: Copy {
+    /// Produce one value from 64 raw bits.
+    fn from_bits(bits: u64) -> Self;
+}
+
+macro_rules! impl_uniform {
+    ($($t:ty),*) => {$(
+        impl Uniform for $t {
+            fn from_bits(bits: u64) -> Self {
+                bits as $t
+            }
+        }
+    )*};
+}
+impl_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Uniform for bool {
+    fn from_bits(bits: u64) -> Self {
+        bits & 1 == 1
+    }
+}
+
+/// Integer types usable as `gen_range` bounds.
+pub trait RangeSample: Copy + PartialOrd {
+    /// Map a raw 64-bit draw into `[lo, hi)` (exclusive upper bound).
+    fn sample_exclusive(lo: Self, hi: Self, bits: u64) -> Self;
+    /// Map a raw 64-bit draw into `[lo, hi]` (inclusive upper bound).
+    fn sample_inclusive(lo: Self, hi: Self, bits: u64) -> Self;
+}
+
+macro_rules! impl_range_sample {
+    ($($t:ty),*) => {$(
+        impl RangeSample for $t {
+            fn sample_exclusive(lo: Self, hi: Self, bits: u64) -> Self {
+                debug_assert!(lo < hi, "gen_range requires a non-empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                let offset = (bits as u128) % span;
+                (lo as i128 + offset as i128) as $t
+            }
+            fn sample_inclusive(lo: Self, hi: Self, bits: u64) -> Self {
+                debug_assert!(lo <= hi, "gen_range requires a non-empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                let offset = (bits as u128) % span;
+                (lo as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_sample!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_range_sample_float {
+    ($($t:ty),*) => {$(
+        impl RangeSample for $t {
+            fn sample_exclusive(lo: Self, hi: Self, bits: u64) -> Self {
+                debug_assert!(lo < hi, "gen_range requires a non-empty range");
+                let f = (bits >> 11) as $t / (1u64 << 53) as $t; // in [0, 1)
+                lo + f * (hi - lo)
+            }
+            fn sample_inclusive(lo: Self, hi: Self, bits: u64) -> Self {
+                if lo == hi {
+                    return lo;
+                }
+                Self::sample_exclusive(lo, hi, bits)
+            }
+        }
+    )*};
+}
+impl_range_sample_float!(f32, f64);
+
+/// Range shapes accepted by [`Rng::gen_range`] (half-open and inclusive).
+pub trait SampleRange<T> {
+    /// Draw one value from the range.
+    fn draw(self, bits: u64) -> T;
+    /// True when the range contains no values.
+    fn is_empty_range(&self) -> bool;
+}
+
+impl<T: RangeSample> SampleRange<T> for Range<T> {
+    fn draw(self, bits: u64) -> T {
+        T::sample_exclusive(self.start, self.end, bits)
+    }
+    fn is_empty_range(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+impl<T: RangeSample> SampleRange<T> for RangeInclusive<T> {
+    fn draw(self, bits: u64) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_inclusive(lo, hi, bits)
+    }
+    fn is_empty_range(&self) -> bool {
+        self.start() > self.end()
+    }
+}
+
+/// The `rand::Rng` subset used by this workspace.
+pub trait Rng {
+    /// Next raw 64 bits from the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform value over the type's whole domain.
+    fn gen<T: Uniform>(&mut self) -> T {
+        T::from_bits(self.next_u64())
+    }
+
+    /// A uniform value from the given range (half-open or inclusive).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T: RangeSample, R: SampleRange<T>>(&mut self, range: R) -> T {
+        assert!(!range.is_empty_range(), "gen_range called with empty range");
+        range.draw(self.next_u64())
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability {p} not in [0,1]"
+        );
+        // 53 mantissa bits give a uniform float in [0, 1).
+        let f = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        f < p
+    }
+}
+
+/// The `rand::SeedableRng` subset used by this workspace.
+pub trait SeedableRng: Sized {
+    /// Construct from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// RNG implementations (mirrors `rand::rngs`).
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic xoshiro256** generator (stands in for `rand::rngs::StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// `rand::prelude` subset.
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::{Rng, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = r.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let s: i32 = r.gen_range(-5..5);
+            assert!((-5..5).contains(&s));
+            let u: usize = r.gen_range(0..3);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn gen_bool_rate_reasonable() {
+        let mut r = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "p=0.25 gave {hits}/10000");
+        assert!((0..100).all(|_| !r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn gen_covers_domain() {
+        let mut r = StdRng::seed_from_u64(5);
+        let mut any_high = false;
+        for _ in 0..100 {
+            let v: u32 = r.gen();
+            any_high |= v > u32::MAX / 2;
+        }
+        assert!(any_high, "upper half of u32 domain never hit");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut r = StdRng::seed_from_u64(1);
+        let _ = r.gen_range(5..5);
+    }
+}

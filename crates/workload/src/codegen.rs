@@ -22,9 +22,9 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use vax780::ProcessSpec;
 use vax_arch::{Opcode, Reg};
 use vax_asm::{Asm, Operand};
-use vax780::ProcessSpec;
 
 use crate::profile::WorkloadProfile;
 
@@ -289,7 +289,7 @@ impl<'p> Gen<'p> {
         if self.rng.gen_bool(0.7) {
             Operand::Disp(self.aligned_hot_offset() as i32, Reg::new(6))
         } else {
-            Operand::Disp(self.rng.gen_range(0..512) as i32 * 4, Reg::new(8))
+            Operand::Disp(self.rng.gen_range(0..512) * 4, Reg::new(8))
         }
     }
 
@@ -331,11 +331,8 @@ impl<'p> Gen<'p> {
                 None,
             );
         } else {
-            self.asm.insn(
-                Opcode::Clrl,
-                &[Operand::Disp(cnt, Reg::new(10))],
-                None,
-            );
+            self.asm
+                .insn(Opcode::Clrl, &[Operand::Disp(cnt, Reg::new(10))], None);
         }
         self.asm.label(&top);
         for _ in 0..self.rng.gen_range(2..4u32) {
@@ -619,8 +616,7 @@ impl<'p> Gen<'p> {
         if self.rng.gen_bool(0.85) {
             self.asm.insn(Opcode::Bsbw, &[], Some(&target));
         } else {
-            self.asm
-                .insn(Opcode::Jsb, &[Label(target)], None);
+            self.asm.insn(Opcode::Jsb, &[Label(target)], None);
         }
     }
 
@@ -645,26 +641,18 @@ impl<'p> Gen<'p> {
         let target = target.unwrap();
         let depth = (self.d.save_r2() - self.d.misc) as i32 + 12; // misc+204
         let skip = self.lbl();
-        self.asm.insn(
-            Opcode::Decl,
-            &[Operand::Disp(depth, Reg::new(10))],
-            None,
-        );
+        self.asm
+            .insn(Opcode::Decl, &[Operand::Disp(depth, Reg::new(10))], None);
         self.asm.insn(Opcode::Blss, &[], Some(&skip));
         if self.rng.gen_bool(0.5) {
             self.asm.insn(Opcode::Pushl, &[Lit(7)], None);
-            self.asm
-                .insn(Opcode::Calls, &[Lit(1), Label(target)], None);
+            self.asm.insn(Opcode::Calls, &[Lit(1), Label(target)], None);
         } else {
-            self.asm
-                .insn(Opcode::Calls, &[Lit(0), Label(target)], None);
+            self.asm.insn(Opcode::Calls, &[Lit(0), Label(target)], None);
         }
         self.asm.label(&skip);
-        self.asm.insn(
-            Opcode::Incl,
-            &[Operand::Disp(depth, Reg::new(10))],
-            None,
-        );
+        self.asm
+            .insn(Opcode::Incl, &[Operand::Disp(depth, Reg::new(10))], None);
     }
 
     fn stmt_pushr(&mut self) {
@@ -772,7 +760,10 @@ impl<'p> Gen<'p> {
                 );
                 self.asm.insn(
                     Opcode::Insque,
-                    &[Operand::Deferred(Reg::new(0)), Operand::Deferred(Reg::new(1))],
+                    &[
+                        Operand::Deferred(Reg::new(0)),
+                        Operand::Deferred(Reg::new(1)),
+                    ],
                     None,
                 );
                 self.asm.insn(
@@ -817,7 +808,7 @@ impl<'p> Gen<'p> {
                 // source alternates between warm text and the cold region
                 // itself (strings in live systems have poor locality).
                 let src = if self.rng.gen_bool(0.5) {
-                    Operand::Disp(soff as i32, Reg::new(9))
+                    Operand::Disp(soff, Reg::new(9))
                 } else {
                     Operand::Disp(1024, Reg::new(8))
                 };
@@ -833,8 +824,8 @@ impl<'p> Gen<'p> {
                     Opcode::Cmpc3,
                     &[
                         len_op,
-                        Operand::Disp(soff as i32, Reg::new(9)),
-                        Operand::Disp((soff as i32 + 64) & 0x7fc, Reg::new(9)),
+                        Operand::Disp(soff, Reg::new(9)),
+                        Operand::Disp((soff + 64) & 0x7fc, Reg::new(9)),
                     ],
                     None,
                 );
@@ -843,11 +834,7 @@ impl<'p> Gen<'p> {
                 // 'q' never occurs in the text: the scan runs full length.
                 self.asm.insn(
                     Opcode::Locc,
-                    &[
-                        Imm(b'q' as u32),
-                        len_op,
-                        Operand::Disp(soff as i32, Reg::new(9)),
-                    ],
+                    &[Imm(b'q' as u32), len_op, Operand::Disp(soff, Reg::new(9))],
                     None,
                 );
             }
@@ -855,7 +842,11 @@ impl<'p> Gen<'p> {
                 // The first 1 KB of the string area is a run of 'a'.
                 self.asm.insn(
                     Opcode::Skpc,
-                    &[Imm(b'a' as u32), len_op, Operand::Disp(self.rng.gen_range(0..900) as i32, Reg::new(9))],
+                    &[
+                        Imm(b'a' as u32),
+                        len_op,
+                        Operand::Disp(self.rng.gen_range(0..900), Reg::new(9)),
+                    ],
                     None,
                 );
             }
@@ -885,22 +876,16 @@ impl<'p> Gen<'p> {
                 );
             }
             1 => {
-                self.asm.insn(
-                    Opcode::Cmpp3,
-                    &[Lit(digits as u8), a, b],
-                    None,
-                );
+                self.asm
+                    .insn(Opcode::Cmpp3, &[Lit(digits as u8), a, b], None);
             }
             2 => {
                 self.asm
                     .insn(Opcode::Movp, &[Lit(digits as u8), a, b], None);
             }
             _ => {
-                self.asm.insn(
-                    Opcode::Cvtlp,
-                    &[R(Reg::new(1)), Lit(digits as u8), b],
-                    None,
-                );
+                self.asm
+                    .insn(Opcode::Cvtlp, &[R(Reg::new(1)), Lit(digits as u8), b], None);
             }
         }
     }
@@ -922,7 +907,8 @@ impl<'p> Gen<'p> {
             None,
         );
         self.asm.insn(Opcode::Blss, &[], Some(&ok));
-        self.asm.insn(Opcode::Movl, &[Imm(self.d.wsb), R(Reg::new(8))], None);
+        self.asm
+            .insn(Opcode::Movl, &[Imm(self.d.wsb), R(Reg::new(8))], None);
         self.asm.label(&ok);
     }
 
@@ -978,7 +964,8 @@ impl<'p> Gen<'p> {
             None,
         );
         // Walk limit slot.
-        self.asm.insn(Opcode::Movl, &[Imm(d.wsb_end), R(Reg::new(0))], None);
+        self.asm
+            .insn(Opcode::Movl, &[Imm(d.wsb_end), R(Reg::new(0))], None);
         self.asm.insn(
             Opcode::Movl,
             &[
@@ -1163,7 +1150,10 @@ impl<'p> Gen<'p> {
             "generated code ({code_size} bytes) overflows the data base"
         );
         self.emit_data(code_size);
-        let image = self.asm.assemble().expect("generated program must assemble");
+        let image = self
+            .asm
+            .assemble()
+            .expect("generated program must assemble");
         ProcessSpec::new(image, "entry")
             .with_bss_pages(0)
             .with_stack_pages(16)

@@ -202,7 +202,7 @@ impl WorkloadProfile {
             w_lowbit: 6.0,
             w_bit_branch: 12.0,
             w_case: 1.6,
-            w_sub_call: 7.0, // each expands to BSB…RSB (2 instructions)
+            w_sub_call: 7.0,  // each expands to BSB…RSB (2 instructions)
             w_proc_call: 5.5, // each expands to CALLS…RET (2 instructions)
             w_pushr: 0.7,
             w_field_op: 9.0,

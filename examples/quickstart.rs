@@ -33,11 +33,15 @@ fn main() {
     // The paper's procedure: warm up, clear, measure.
     let m = system.measure(5_000, 100_000);
     let a = Analysis::new(&system.cpu.cs, &m);
-    a.check_conservation().expect("histogram must conserve cycles");
+    a.check_conservation()
+        .expect("histogram must conserve cycles");
 
     println!("instructions : {}", a.instructions);
     println!("cycles       : {}", a.cycles);
-    println!("CPI          : {:.2}  (the paper's composite: 10.6)", a.cpi());
+    println!(
+        "CPI          : {:.2}  (the paper's composite: 10.6)",
+        a.cpi()
+    );
     println!();
     println!("{}", tables::table8(&a));
 }

@@ -25,11 +25,7 @@ fn assembled_program_computes_correctly() {
     "#;
     let mut sys = text_system(src);
     sys.run_instructions(5_000);
-    let pa = sys
-        .cpu
-        .mem
-        .raw_translate(vax_mem::VirtAddr(4096))
-        .unwrap();
+    let pa = sys.cpu.mem.raw_translate(vax_mem::VirtAddr(4096)).unwrap();
     assert_eq!(sys.cpu.mem.value_read(pa, 4), 55);
 }
 
@@ -101,12 +97,18 @@ fn composite_statistics_land_near_paper_shape() {
     let groups = a.group_percent();
     assert!(groups[0] > 75.0 && groups[0] < 95.0, "SIMPLE {}", groups[0]);
     // Decode row is exactly one compute cycle per instruction.
-    let decode = a.cell(upc_monitor::Activity::Decode, upc_monitor::CycleClass::Compute);
+    let decode = a.cell(
+        upc_monitor::Activity::Decode,
+        upc_monitor::CycleClass::Compute,
+    );
     assert!((decode - 1.0).abs() < 1e-9);
     // Reads outnumber writes roughly two to one (§3.3.1).
     let reads = a.col_total(upc_monitor::CycleClass::Read);
     let writes = a.col_total(upc_monitor::CycleClass::Write);
-    assert!(reads / writes > 1.0 && reads / writes < 3.5, "{reads}/{writes}");
+    assert!(
+        reads / writes > 1.0 && reads / writes < 3.5,
+        "{reads}/{writes}"
+    );
 }
 
 #[test]
@@ -120,9 +122,7 @@ fn per_workload_profiles_differ_in_character() {
     let (sci, _) = cpi_of(Workload::SciEng, 31);
     let (com, _) = cpi_of(Workload::Commercial, 32);
     // FLOAT leads in sci/eng, CHARACTER+DECIMAL in commercial.
-    assert!(
-        sci[vax_arch::OpcodeGroup::Float.index()] > com[vax_arch::OpcodeGroup::Float.index()]
-    );
+    assert!(sci[vax_arch::OpcodeGroup::Float.index()] > com[vax_arch::OpcodeGroup::Float.index()]);
     assert!(
         com[vax_arch::OpcodeGroup::Character.index()]
             > sci[vax_arch::OpcodeGroup::Character.index()]

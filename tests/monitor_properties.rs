@@ -1,59 +1,85 @@
-//! Property tests over the measurement pipeline.
+//! Property tests over the measurement pipeline, driven by seeded random
+//! cases (the offline build environment has no proptest; 256 deterministic
+//! random cases per property give equivalent coverage for these small state
+//! spaces).
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use upc_monitor::{Histogram, MicroPc, Plane};
 
-proptest! {
-    #[test]
-    fn histogram_totals_match_recordings(
-        events in proptest::collection::vec((0u16..16384, any::<bool>(), 1u64..100), 0..200)
-    ) {
+const CASES: u64 = 256;
+
+#[test]
+fn histogram_totals_match_recordings() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_events = rng.gen_range(0..200usize);
         let mut h = Histogram::new_16k();
         h.start();
         let mut expect = 0u64;
-        for (upc, stalled, n) in &events {
-            let plane = if *stalled { Plane::Stalled } else { Plane::Normal };
-            h.record_n(MicroPc(*upc), plane, *n);
+        for _ in 0..n_events {
+            let upc = MicroPc(rng.gen_range(0..16384u16));
+            let plane = if rng.gen_bool(0.5) {
+                Plane::Stalled
+            } else {
+                Plane::Normal
+            };
+            let n = rng.gen_range(1..100u64);
+            h.record_n(upc, plane, n);
             expect += n;
         }
-        prop_assert_eq!(h.total_cycles(), expect);
-        prop_assert_eq!(
+        assert_eq!(h.total_cycles(), expect);
+        assert_eq!(
             h.plane_total(Plane::Normal) + h.plane_total(Plane::Stalled),
             expect
         );
     }
+}
 
-    #[test]
-    fn merge_is_additive(
-        a in proptest::collection::vec((0u16..16384, 1u64..50), 0..50),
-        b in proptest::collection::vec((0u16..16384, 1u64..50), 0..50),
-    ) {
+#[test]
+fn merge_is_additive() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9));
         let mut ha = Histogram::new_16k();
         let mut hb = Histogram::new_16k();
         ha.start();
         hb.start();
-        for (upc, n) in &a {
-            ha.record_n(MicroPc(*upc), Plane::Normal, *n);
+        for _ in 0..rng.gen_range(0..50usize) {
+            ha.record_n(
+                MicroPc(rng.gen_range(0..16384u16)),
+                Plane::Normal,
+                rng.gen_range(1..50u64),
+            );
         }
-        for (upc, n) in &b {
-            hb.record_n(MicroPc(*upc), Plane::Normal, *n);
+        for _ in 0..rng.gen_range(0..50usize) {
+            hb.record_n(
+                MicroPc(rng.gen_range(0..16384u16)),
+                Plane::Normal,
+                rng.gen_range(1..50u64),
+            );
         }
         let ta = ha.total_cycles();
         let tb = hb.total_cycles();
         ha.merge(&hb);
-        prop_assert_eq!(ha.total_cycles(), ta + tb);
+        assert_eq!(ha.total_cycles(), ta + tb);
     }
+}
 
-    #[test]
-    fn assembler_roundtrips_through_decoder(
-        iters in 1u32..60,
-        disp in 0i32..120,
-    ) {
-        use vax_arch::{decode, Opcode, Reg};
-        use vax_asm::{Asm, Operand};
+#[test]
+fn assembler_roundtrips_through_decoder() {
+    use vax_arch::{decode, Opcode, Reg};
+    use vax_asm::{Asm, Operand};
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(77));
+        let iters = rng.gen_range(1..60u32);
+        let disp = rng.gen_range(0..120i32);
         let mut asm = Asm::new(0x200);
         asm.label("entry");
-        asm.insn(Opcode::Movl, &[Operand::Imm(iters), Operand::Reg(Reg::new(2))], None);
+        asm.insn(
+            Opcode::Movl,
+            &[Operand::Imm(iters), Operand::Reg(Reg::new(2))],
+            None,
+        );
         asm.label("l");
         asm.insn(
             Opcode::Addl2,
@@ -70,6 +96,6 @@ proptest! {
             at += insn.len as usize;
             count += 1;
         }
-        prop_assert_eq!(count, 3);
+        assert_eq!(count, 3);
     }
 }

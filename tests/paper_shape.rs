@@ -83,8 +83,8 @@ fn paper_conclusions_hold() {
 
     // "The range of cycle time requirements ... covers two orders of
     // magnitude": CHARACTER per-instruction cost vs SIMPLE.
-    let simple_per = a.row_total(Activity::ExecSimple)
-        / (groups[OpcodeGroup::Simple.index()] / 100.0);
+    let simple_per =
+        a.row_total(Activity::ExecSimple) / (groups[OpcodeGroup::Simple.index()] / 100.0);
     let char_freq = groups[OpcodeGroup::Character.index()] / 100.0;
     if char_freq > 0.0005 {
         let char_per = a.row_total(Activity::ExecCharacter) / char_freq;
@@ -99,7 +99,10 @@ fn paper_conclusions_hold() {
         + a.col_total(CycleClass::WriteStall)
         + a.col_total(CycleClass::IbStall);
     let stall_share = stalls / a.cpi();
-    assert!(stall_share > 0.08 && stall_share < 0.40, "stall share {stall_share}");
+    assert!(
+        stall_share > 0.08 && stall_share < 0.40,
+        "stall share {stall_share}"
+    );
 }
 
 #[test]
