@@ -172,6 +172,69 @@ pub fn timeseries_json(ts: &TimeSeries) -> Json {
     ])
 }
 
+/// Parse a [`timeseries_json`] export back into a series.
+///
+/// Like [`TimeSeries::from_csv`], the export is a lossy projection — totals
+/// without their components, no histogram — so each total is stored in the
+/// first component counter (`cache_read_misses` into `d_read_misses`,
+/// `tb_misses` into `tb_miss_d`, `interrupts` into `hw_interrupts`).
+/// Re-serializing the parsed series reproduces the original document
+/// exactly: the derived `cpi`, `interrupt_headway`, and stall fields
+/// recompute bit-identically from the preserved integers.
+///
+/// # Errors
+/// Returns a message naming the first missing or mistyped field.
+pub fn timeseries_from_json(j: &Json) -> Result<TimeSeries, String> {
+    let samples = j
+        .get("samples")
+        .and_then(Json::as_arr)
+        .ok_or("timeseries: missing 'samples' array")?;
+    let declared = j
+        .get("intervals")
+        .and_then(Json::as_i64)
+        .ok_or("timeseries: missing 'intervals'")?;
+    if declared as usize != samples.len() {
+        return Err(format!(
+            "timeseries: 'intervals' says {declared} but {} samples present",
+            samples.len()
+        ));
+    }
+    let mut ts = TimeSeries::default();
+    for (i, s) in samples.iter().enumerate() {
+        let int = |key: &str| -> Result<u64, String> {
+            s.get(key)
+                .and_then(Json::as_i64)
+                .and_then(|v| u64::try_from(v).ok())
+                .ok_or_else(|| format!("timeseries: sample {i}: missing integer '{key}'"))
+        };
+        let start_cycle = int("start_cycle")?;
+        let end_cycle = int("end_cycle")?;
+        if int("cycles")? != end_cycle.saturating_sub(start_cycle) {
+            return Err(format!(
+                "timeseries: sample {i}: 'cycles' disagrees with bounds"
+            ));
+        }
+        let mut delta = Measurement {
+            cycles: end_cycle - start_cycle,
+            ..Measurement::default()
+        };
+        delta.cpu_stats.instructions = int("instructions")?;
+        delta.mem_stats.read_stall_cycles = int("read_stall_cycles")?;
+        delta.mem_stats.write_stall_cycles = int("write_stall_cycles")?;
+        delta.mem_stats.i_reads = int("ib_reads")?;
+        delta.mem_stats.d_read_misses = int("cache_read_misses")?;
+        delta.mem_stats.tb_miss_d = int("tb_misses")?;
+        delta.cpu_stats.hw_interrupts = int("interrupts")?;
+        delta.cpu_stats.context_switches = int("context_switches")?;
+        ts.samples.push(vax780::IntervalSample {
+            start_cycle,
+            end_cycle,
+            delta,
+        });
+    }
+    Ok(ts)
+}
+
 fn measured_paper(measured: f64, paper: f64) -> Json {
     Json::obj([
         ("measured", Json::from(measured)),
@@ -443,14 +506,7 @@ fn events_json(a: &Analysis) -> Json {
 }
 
 fn table8_json(a: &Analysis) -> Json {
-    let class_key = |c: CycleClass| match c {
-        CycleClass::Compute => "compute",
-        CycleClass::Read => "read",
-        CycleClass::ReadStall => "read_stall",
-        CycleClass::Write => "write",
-        CycleClass::WriteStall => "write_stall",
-        CycleClass::IbStall => "ib_stall",
-    };
+    let class_key = crate::profile::class_key;
     let rows = Json::arr(Activity::ALL.iter().enumerate().map(|(i, act)| {
         let mut members: Vec<(String, Json)> =
             vec![("activity".to_string(), Json::from(act.name()))];

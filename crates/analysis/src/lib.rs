@@ -10,14 +10,21 @@
 //! yield event frequencies (specifier modes, TB misses).
 
 pub mod analysis;
+pub mod diffrun;
 pub mod export;
 pub mod json;
 pub mod paper;
+pub mod profile;
 pub mod tables;
 pub mod validate;
 
 pub use analysis::Analysis;
-pub use export::{measurement_json, run_artifacts, tables_json, timeseries_json, RunManifest};
+pub use diffrun::{diff_json, DeltaKind, DiffReport, MetricDelta, Tolerance};
+pub use export::{
+    measurement_json, run_artifacts, tables_json, timeseries_from_json, timeseries_json,
+    RunManifest,
+};
 pub use json::Json;
+pub use profile::{Profile, ProfileNode, RoutineProfile};
 pub use tables::print_all_tables;
 pub use validate::{validate, ValidationCheck, ValidationReport};

@@ -3,6 +3,9 @@
 //! ```text
 //! reproduce [--instructions N] [--seed S] [--experiment WHICH] [--per-workload]
 //!           [--format text|json] [--out DIR] [--interval-cycles N]
+//!           [--profile] [--top N] [--flight-recorder K] [--quiet|--verbose]
+//!           [--bench-out DIR]
+//! reproduce diff BASELINE_DIR CANDIDATE_DIR [--abs-tol X] [--rel-tol X]
 //! ```
 //!
 //! `WHICH` ∈ {fig1, table1..table9, events, all} (default `all`).
@@ -11,12 +14,24 @@
 //! With `--format json`, the run emits machine-readable artifacts — the run
 //! manifest, raw measurement counters, Tables 1–9, the interval time series
 //! (JSON and CSV), and the counter-conservation validation report — into
-//! `--out DIR` (or tables.json to stdout when `--out` is absent).
+//! `--out DIR` (or tables.json to stdout when `--out` is absent). All
+//! narration goes to stderr so stdout stays machine-clean.
+//!
+//! `--profile` reduces the µPC histogram into a hierarchical attribution
+//! profile: a top-N hot-routine report, `profile.folded` for flame-graph
+//! tools, and `profile.json`.
+//!
+//! `diff` compares two exported run directories metric by metric and exits
+//! nonzero on out-of-tolerance drift — the CI regression gate.
 
-use vax780::TimeSeries;
-use vax_analysis::{tables, validate, Analysis, RunManifest};
-use vax_bench::cli::{self, Format, Options};
-use vax_workload::Workload;
+use std::path::PathBuf;
+
+use vax_analysis::{tables, Profile, RunManifest, Tolerance};
+use vax_bench::cli::{self, Command, DiffOptions, Format, Options};
+use vax_bench::diffcmd::{self, FileDiff};
+use vax_bench::meter::HostMeter;
+use vax_bench::progress::Progress;
+use vax_bench::runner;
 
 fn fig1() -> String {
     // Figure 1 is the 780 block diagram; we reproduce it as the simulated
@@ -37,103 +52,136 @@ fn fig1() -> String {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let opts = match cli::parse_args(&args) {
-        Ok(opts) => opts,
+    let cmd = match cli::parse_command(&args) {
+        Ok(cmd) => cmd,
         Err(msg) => {
             eprintln!("reproduce: {msg}");
             eprintln!("{}", cli::usage());
             std::process::exit(2);
         }
     };
+    let code = match cmd {
+        Command::Diff(d) => run_diff(&d),
+        Command::Run(opts) => run(&opts),
+    };
+    std::process::exit(code);
+}
+
+/// `reproduce diff`: compare two run directories; 0 = within tolerance.
+fn run_diff(d: &DiffOptions) -> i32 {
+    let tol = Tolerance::new(d.abs_tol, d.rel_tol);
+    match diffcmd::diff_run_dirs(&d.baseline, &d.candidate, &tol) {
+        Ok(diffs) => {
+            print!("{}", diffcmd::render_dir_diff(&diffs));
+            if diffs.iter().all(FileDiff::is_clean) {
+                0
+            } else {
+                1
+            }
+        }
+        Err(e) => {
+            eprintln!("reproduce diff: {e}");
+            1
+        }
+    }
+}
+
+/// The measurement run. Returns the process exit code.
+fn run(opts: &Options) -> i32 {
+    let progress = Progress::new(opts.verbosity);
 
     if opts.experiment == "fig1" {
         print!("{}", fig1());
-        return;
+        return 0;
     }
 
-    let Options {
-        instructions,
-        seed,
-        interval_cycles,
-        ..
-    } = opts;
-    eprintln!("running 5 workloads x {instructions} instructions (seed {seed}) ...");
-    // Run the five workloads and form the composite, keeping one system's
-    // control store as the reduction key (all systems share the layout).
-    // Each workload's interval samples are appended with a cycle offset so
-    // the composite time series stays contiguous, and merging it still
-    // reproduces the composite measurement exactly.
-    let mut per: Vec<(Workload, f64)> = Vec::new();
-    let mut composite = None;
-    let mut cs = None;
-    let mut series = TimeSeries::default();
-    let mut cycle_offset = 0u64;
-    for (i, &w) in Workload::ALL.iter().enumerate() {
-        let mut system = vax_workload::build_system(
-            w,
-            vax_workload::rte::PROCESSES_PER_WORKLOAD,
-            seed.wrapping_add(i as u64),
-        );
-        let (m, ts) = system.measure_sampled(instructions / 10, instructions, interval_cycles);
-        for mut s in ts.samples {
-            s.start_cycle += cycle_offset;
-            s.end_cycle += cycle_offset;
-            series.samples.push(s);
-        }
-        cycle_offset += m.cycles;
-        per.push((w, m.cpi()));
-        match &mut composite {
-            None => {
-                composite = Some(m);
-                cs = Some(system.cpu.cs.clone());
+    // Meter only the simulation itself, not rendering or artifact I/O.
+    let meter = HostMeter::start();
+    let out = runner::run_composite(opts, &progress);
+    let bench = meter.finish(out.analysis.cycles, out.analysis.instructions);
+    progress.info(&bench.summary());
+    if let Some(dir) = &opts.bench_out {
+        match bench.write_to(dir) {
+            Ok(path) => progress.info(&format!("wrote {}", path.display())),
+            Err(e) => {
+                eprintln!("reproduce: {e}");
+                return 1;
             }
-            Some(c) => c.merge(&m),
         }
-        eprintln!("  {} done (CPI {:.2})", w.name(), per.last().unwrap().1);
     }
-    let composite = composite.unwrap();
-    let cs = cs.unwrap();
-    let a = Analysis::new(&cs, &composite);
-    if let Err(e) = a.check_conservation() {
-        eprintln!("WARNING: conservation check failed: {e}");
-    }
-    let report = validate(&cs, &composite);
-    if !report.is_clean() {
-        eprintln!("WARNING: counter validation diverged:\n{}", report.render());
+
+    // The µPC attribution profile: folded stacks + JSON always go to a
+    // directory (--out if given, else the working directory); the top-N
+    // report goes to stdout in text mode and stderr in json mode so the
+    // machine-readable stream stays clean.
+    if opts.profile {
+        let profile = Profile::new(&out.cs.map, &out.analysis.m.hist);
+        let dir = opts.out.clone().unwrap_or_else(|| PathBuf::from("."));
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("reproduce: cannot create {}: {e}", dir.display());
+            return 1;
+        }
+        for (name, body) in [
+            ("profile.folded", profile.folded()),
+            ("profile.json", profile.to_json().to_string_pretty()),
+        ] {
+            let path = dir.join(name);
+            if let Err(e) = std::fs::write(&path, body) {
+                eprintln!("reproduce: cannot write {}: {e}", path.display());
+                return 1;
+            }
+        }
+        progress.info(&format!(
+            "wrote profile.folded and profile.json to {}",
+            dir.display()
+        ));
+        let report = profile.top_routines_report(opts.top);
+        match opts.format {
+            Format::Text => println!("{report}"),
+            Format::Json => progress.info(&report),
+        }
     }
 
     if opts.per_workload {
-        println!("Per-workload CPI:");
-        for (w, cpi) in &per {
-            println!("  {:<34} {cpi:>6.2}", w.name());
+        let mut s = String::from("Per-workload CPI:\n");
+        for (w, cpi) in &out.per_workload {
+            s.push_str(&format!("  {:<34} {cpi:>6.2}\n", w.name()));
         }
-        println!();
+        match opts.format {
+            Format::Text => println!("{s}"),
+            Format::Json => progress.info(&s),
+        }
     }
 
     if opts.format == Format::Json {
         let manifest = RunManifest {
             experiment: opts.experiment.clone(),
-            seed: Some(seed),
-            instructions,
-            warmup: instructions / 10,
-            interval_cycles,
+            seed: Some(opts.seed),
+            instructions: opts.instructions,
+            warmup: opts.instructions / 10,
+            interval_cycles: opts.interval_cycles,
             config: "default VAX-11/780 configuration, 5-workload composite".to_string(),
         };
-        let files = vax_analysis::run_artifacts(&manifest, &a, &series, &report);
+        let files =
+            vax_analysis::run_artifacts(&manifest, &out.analysis, &out.series, &out.validation);
         match &opts.out {
             Some(dir) => {
                 if let Err(e) = std::fs::create_dir_all(dir) {
                     eprintln!("reproduce: cannot create {}: {e}", dir.display());
-                    std::process::exit(1);
+                    return 1;
                 }
                 for (name, body) in &files {
                     let path = dir.join(name);
                     if let Err(e) = std::fs::write(&path, body) {
                         eprintln!("reproduce: cannot write {}: {e}", path.display());
-                        std::process::exit(1);
+                        return 1;
                     }
                 }
-                eprintln!("wrote {} artifacts to {}", files.len(), dir.display());
+                progress.info(&format!(
+                    "wrote {} artifacts to {}",
+                    files.len(),
+                    dir.display()
+                ));
             }
             None => {
                 let tables = files
@@ -144,33 +192,28 @@ fn main() {
                 print!("{tables}");
             }
         }
-        if !report.is_clean() {
-            std::process::exit(1);
-        }
-        return;
+        return i32::from(!out.validation.is_clean());
     }
 
-    let out = match opts.experiment.as_str() {
+    let rendered = match opts.experiment.as_str() {
         "all" => {
             let mut s = fig1();
             s.push('\n');
-            s.push_str(&tables::print_all_tables(&a));
+            s.push_str(&tables::print_all_tables(&out.analysis));
             s
         }
-        "table1" => tables::table1(&a),
-        "table2" => tables::table2(&a),
-        "table3" => tables::table3(&a),
-        "table4" => tables::table4(&a),
-        "table5" => tables::table5(&a),
-        "table6" => tables::table6(&a),
-        "table7" => tables::table7(&a),
-        "table8" => tables::table8(&a),
-        "table9" => tables::table9(&a),
-        "events" => tables::events(&a),
+        "table1" => tables::table1(&out.analysis),
+        "table2" => tables::table2(&out.analysis),
+        "table3" => tables::table3(&out.analysis),
+        "table4" => tables::table4(&out.analysis),
+        "table5" => tables::table5(&out.analysis),
+        "table6" => tables::table6(&out.analysis),
+        "table7" => tables::table7(&out.analysis),
+        "table8" => tables::table8(&out.analysis),
+        "table9" => tables::table9(&out.analysis),
+        "events" => tables::events(&out.analysis),
         other => unreachable!("experiment '{other}' passed validation but has no renderer"),
     };
-    print!("{out}");
-    if !report.is_clean() {
-        std::process::exit(1);
-    }
+    print!("{rendered}");
+    i32::from(!out.validation.is_clean())
 }

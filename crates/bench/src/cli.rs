@@ -4,8 +4,13 @@
 //! experiments and malformed numbers must be rejected up front with a clear
 //! message (and a nonzero exit in the binary), never silently defaulted —
 //! a bad flag would otherwise waste a five-workload measurement run.
+//!
+//! Two commands: the default measurement run, and `reproduce diff A B`
+//! which compares two exported run directories for CI gating.
 
 use std::path::PathBuf;
+
+use crate::progress::Verbosity;
 
 /// Valid `--experiment` values.
 pub const EXPERIMENTS: &[&str] = &[
@@ -41,6 +46,17 @@ pub struct Options {
     pub out: Option<PathBuf>,
     /// Interval-sampler period in cycles for the telemetry time series.
     pub interval_cycles: u64,
+    /// Emit the µPC attribution profile (hot-routine report, folded stacks,
+    /// profile.json).
+    pub profile: bool,
+    /// Rows in the hot-routine report.
+    pub top: usize,
+    /// Flight-recorder capacity in instructions; 0 disables it.
+    pub flight_recorder: usize,
+    /// Stderr narration level (`--quiet` / `--verbose`).
+    pub verbosity: Verbosity,
+    /// Directory for the host self-metering report `BENCH_<unix-ts>.json`.
+    pub bench_out: Option<PathBuf>,
 }
 
 impl Default for Options {
@@ -53,15 +69,45 @@ impl Default for Options {
             format: Format::Text,
             out: None,
             interval_cycles: 500_000,
+            profile: false,
+            top: 20,
+            flight_recorder: 0,
+            verbosity: Verbosity::Normal,
+            bench_out: None,
         }
     }
+}
+
+/// Options for `reproduce diff`.
+#[derive(Debug, Clone)]
+pub struct DiffOptions {
+    /// Baseline run directory (usually the committed golden run).
+    pub baseline: PathBuf,
+    /// Candidate run directory (usually freshly generated).
+    pub candidate: PathBuf,
+    /// Absolute numeric slack (default 0 — exact).
+    pub abs_tol: f64,
+    /// Relative numeric slack scaled by magnitude (default 0 — exact).
+    pub rel_tol: f64,
+}
+
+/// A parsed invocation: the measurement run or the run-directory diff.
+#[derive(Debug, Clone)]
+pub enum Command {
+    /// The default five-workload measurement run.
+    Run(Options),
+    /// `reproduce diff BASELINE CANDIDATE`.
+    Diff(DiffOptions),
 }
 
 /// One-line usage string.
 pub fn usage() -> String {
     "usage: reproduce [--instructions N] [--seed S] \
      [--experiment fig1|table1..table9|events|all] [--per-workload] \
-     [--format text|json] [--out DIR] [--interval-cycles N]"
+     [--format text|json] [--out DIR] [--interval-cycles N] \
+     [--profile] [--top N] [--flight-recorder K] [--quiet|--verbose] \
+     [--bench-out DIR]\n\
+     \x20      reproduce diff BASELINE_DIR CANDIDATE_DIR [--abs-tol X] [--rel-tol X]"
         .to_string()
 }
 
@@ -71,13 +117,81 @@ fn parse_u64(flag: &str, value: Option<&String>) -> Result<u64, String> {
         .map_err(|_| format!("invalid value for {flag}: '{raw}' (expected a non-negative integer)"))
 }
 
-/// Parse the argument list (without the program name).
+fn parse_f64(flag: &str, value: Option<&String>) -> Result<f64, String> {
+    let raw = value.ok_or_else(|| format!("{flag} requires a value"))?;
+    let v: f64 = raw
+        .parse()
+        .map_err(|_| format!("invalid value for {flag}: '{raw}' (expected a number)"))?;
+    if !v.is_finite() || v < 0.0 {
+        return Err(format!(
+            "invalid value for {flag}: '{raw}' (expected a finite non-negative number)"
+        ));
+    }
+    Ok(v)
+}
+
+/// Parse the full argument list (without the program name), dispatching on
+/// the optional `diff` subcommand.
+///
+/// # Errors
+/// Returns a message describing the first invalid flag or value; the caller
+/// should print it and exit nonzero.
+pub fn parse_command(args: &[String]) -> Result<Command, String> {
+    if args.first().map(String::as_str) == Some("diff") {
+        return parse_diff_args(&args[1..]).map(Command::Diff);
+    }
+    parse_args(args).map(Command::Run)
+}
+
+/// Parse `reproduce diff` arguments (after the subcommand word).
+pub fn parse_diff_args(args: &[String]) -> Result<DiffOptions, String> {
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    let mut abs_tol = 0.0;
+    let mut rel_tol = 0.0;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--abs-tol" => {
+                i += 1;
+                abs_tol = parse_f64("--abs-tol", args.get(i))?;
+            }
+            "--rel-tol" => {
+                i += 1;
+                rel_tol = parse_f64("--rel-tol", args.get(i))?;
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown argument '{flag}' for diff\n{}", usage()))
+            }
+            dir => dirs.push(PathBuf::from(dir)),
+        }
+        i += 1;
+    }
+    if dirs.len() != 2 {
+        return Err(format!(
+            "diff takes exactly two run directories (got {})\n{}",
+            dirs.len(),
+            usage()
+        ));
+    }
+    let candidate = dirs.pop().unwrap();
+    let baseline = dirs.pop().unwrap();
+    Ok(DiffOptions {
+        baseline,
+        candidate,
+        abs_tol,
+        rel_tol,
+    })
+}
+
+/// Parse run-mode arguments (without the program name).
 ///
 /// # Errors
 /// Returns a message describing the first invalid flag or value; the caller
 /// should print it and exit nonzero.
 pub fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options::default();
+    let mut quiet = false;
+    let mut verbose = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -130,11 +244,43 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
                     .ok_or_else(|| "--out requires a directory".to_string())?;
                 opts.out = Some(PathBuf::from(dir));
             }
+            "--bench-out" => {
+                i += 1;
+                let dir = args
+                    .get(i)
+                    .ok_or_else(|| "--bench-out requires a directory".to_string())?;
+                opts.bench_out = Some(PathBuf::from(dir));
+            }
+            "--top" => {
+                i += 1;
+                let n = parse_u64("--top", args.get(i))?;
+                if n == 0 {
+                    return Err("--top must be at least 1".to_string());
+                }
+                opts.top = n as usize;
+            }
+            "--flight-recorder" => {
+                i += 1;
+                opts.flight_recorder = parse_u64("--flight-recorder", args.get(i))? as usize;
+            }
             "--per-workload" => opts.per_workload = true,
+            "--profile" => opts.profile = true,
+            "--quiet" => quiet = true,
+            "--verbose" => verbose = true,
             other => return Err(format!("unknown argument '{other}'\n{}", usage())),
         }
         i += 1;
     }
+    if quiet && verbose {
+        return Err("--quiet and --verbose are mutually exclusive".to_string());
+    }
+    opts.verbosity = if quiet {
+        Verbosity::Quiet
+    } else if verbose {
+        Verbosity::Verbose
+    } else {
+        Verbosity::Normal
+    };
     Ok(opts)
 }
 
@@ -147,6 +293,11 @@ mod tests {
         parse_args(&v)
     }
 
+    fn parse_cmd(args: &[&str]) -> Result<Command, String> {
+        let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        parse_command(&v)
+    }
+
     #[test]
     fn defaults() {
         let o = parse(&[]).unwrap();
@@ -155,6 +306,11 @@ mod tests {
         assert_eq!(o.experiment, "all");
         assert_eq!(o.format, Format::Text);
         assert!(o.out.is_none());
+        assert!(!o.profile);
+        assert_eq!(o.top, 20);
+        assert_eq!(o.flight_recorder, 0);
+        assert_eq!(o.verbosity, Verbosity::Normal);
+        assert!(o.bench_out.is_none());
     }
 
     #[test]
@@ -173,6 +329,14 @@ mod tests {
             "/tmp/x",
             "--interval-cycles",
             "1000",
+            "--profile",
+            "--top",
+            "5",
+            "--flight-recorder",
+            "64",
+            "--verbose",
+            "--bench-out",
+            "/tmp/bench",
         ])
         .unwrap();
         assert_eq!(o.instructions, 5000);
@@ -182,6 +346,14 @@ mod tests {
         assert_eq!(o.format, Format::Json);
         assert_eq!(o.out.as_deref(), Some(std::path::Path::new("/tmp/x")));
         assert_eq!(o.interval_cycles, 1000);
+        assert!(o.profile);
+        assert_eq!(o.top, 5);
+        assert_eq!(o.flight_recorder, 64);
+        assert_eq!(o.verbosity, Verbosity::Verbose);
+        assert_eq!(
+            o.bench_out.as_deref(),
+            Some(std::path::Path::new("/tmp/bench"))
+        );
     }
 
     #[test]
@@ -210,7 +382,12 @@ mod tests {
     fn rejects_zero_where_meaningless() {
         assert!(parse(&["--instructions", "0"]).is_err());
         assert!(parse(&["--interval-cycles", "0"]).is_err());
+        assert!(parse(&["--top", "0"]).is_err());
         assert!(parse(&["--seed", "0"]).is_ok(), "seed zero is valid");
+        assert!(
+            parse(&["--flight-recorder", "0"]).is_ok(),
+            "zero capacity means disabled"
+        );
     }
 
     #[test]
@@ -219,5 +396,44 @@ mod tests {
             .unwrap_err()
             .contains("--frobnicate"));
         assert!(parse(&["--format", "xml"]).unwrap_err().contains("xml"));
+    }
+
+    #[test]
+    fn quiet_and_verbose_conflict() {
+        assert!(parse(&["--quiet", "--verbose"])
+            .unwrap_err()
+            .contains("mutually exclusive"));
+        assert_eq!(parse(&["--quiet"]).unwrap().verbosity, Verbosity::Quiet);
+    }
+
+    #[test]
+    fn diff_subcommand_parses() {
+        let cmd = parse_cmd(&["diff", "a", "b", "--rel-tol", "0.01"]).unwrap();
+        match cmd {
+            Command::Diff(d) => {
+                assert_eq!(d.baseline, std::path::PathBuf::from("a"));
+                assert_eq!(d.candidate, std::path::PathBuf::from("b"));
+                assert_eq!(d.abs_tol, 0.0);
+                assert_eq!(d.rel_tol, 0.01);
+            }
+            Command::Run(_) => panic!("expected diff"),
+        }
+        match parse_cmd(&["--profile"]).unwrap() {
+            Command::Run(o) => assert!(o.profile),
+            Command::Diff(_) => panic!("expected run"),
+        }
+    }
+
+    #[test]
+    fn diff_rejects_bad_shapes() {
+        assert!(parse_cmd(&["diff", "a"]).unwrap_err().contains("two run"));
+        assert!(parse_cmd(&["diff", "a", "b", "c"])
+            .unwrap_err()
+            .contains("two run"));
+        assert!(parse_cmd(&["diff", "a", "b", "--abs-tol", "-1"]).is_err());
+        assert!(parse_cmd(&["diff", "a", "b", "--abs-tol", "nanx"]).is_err());
+        assert!(parse_cmd(&["diff", "a", "b", "--frobnicate"])
+            .unwrap_err()
+            .contains("--frobnicate"));
     }
 }

@@ -5,7 +5,11 @@
 //! and the Criterion benches under `benches/`.
 
 pub mod cli;
+pub mod diffcmd;
 pub mod harness;
+pub mod meter;
+pub mod progress;
+pub mod runner;
 
 /// Default per-workload measurement length (instructions) for the full
 /// reproduction. The paper ran each experiment ~1 hour of wall time; at

@@ -1,0 +1,58 @@
+//! Leveled progress narration for the harness.
+//!
+//! Everything here writes to **stderr**: with `--format json` the stdout
+//! stream is a machine-readable artifact and must stay clean, so narration
+//! and results never share a stream. Three levels:
+//!
+//! * `--quiet` — warnings only;
+//! * default — warnings plus progress milestones;
+//! * `--verbose` — all of the above plus per-step detail.
+
+/// Narration verbosity, parsed from `--quiet` / `--verbose`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Verbosity {
+    /// Warnings only.
+    Quiet,
+    /// Warnings and progress milestones (the default).
+    #[default]
+    Normal,
+    /// Everything, including per-step detail.
+    Verbose,
+}
+
+/// A leveled stderr logger.
+#[derive(Debug, Clone, Copy)]
+pub struct Progress {
+    level: Verbosity,
+}
+
+impl Progress {
+    /// A logger at the given level.
+    pub fn new(level: Verbosity) -> Progress {
+        Progress { level }
+    }
+
+    /// Always printed, prefixed `warning:`.
+    pub fn warn(&self, msg: &str) {
+        eprintln!("reproduce: warning: {msg}");
+    }
+
+    /// Progress milestone; suppressed by `--quiet`.
+    pub fn info(&self, msg: &str) {
+        if self.level != Verbosity::Quiet {
+            eprintln!("{msg}");
+        }
+    }
+
+    /// Per-step detail; printed only with `--verbose`.
+    pub fn debug(&self, msg: &str) {
+        if self.level == Verbosity::Verbose {
+            eprintln!("{msg}");
+        }
+    }
+
+    /// The configured level.
+    pub fn level(&self) -> Verbosity {
+        self.level
+    }
+}

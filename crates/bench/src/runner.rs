@@ -1,0 +1,118 @@
+//! The composite measurement loop, extracted from the `reproduce` binary so
+//! integration tests (and the fixture-freshness check) can run the exact
+//! same code path programmatically.
+//!
+//! Runs the five workloads back to back, merges their measurements into the
+//! paper's composite, splices the interval samples into one contiguous time
+//! series, and reduces the result against the shared control store.
+
+use vax780::TimeSeries;
+use vax_analysis::{validate, Analysis, ValidationReport};
+use vax_cpu::{ControlStore, SharedFlightRecorder};
+use vax_workload::Workload;
+
+use crate::cli::Options;
+use crate::progress::Progress;
+
+/// Everything a composite run produces, ready for rendering or export.
+#[derive(Debug)]
+pub struct RunOutput {
+    /// The reduced composite analysis (owns the merged [`vax780::Measurement`]).
+    pub analysis: Analysis,
+    /// The control store the reduction was keyed on (all five systems share
+    /// the same layout).
+    pub cs: ControlStore,
+    /// Composite interval time series, cycle offsets spliced so the five
+    /// workloads form one contiguous timeline.
+    pub series: TimeSeries,
+    /// Counter-conservation validation of the composite measurement.
+    pub validation: ValidationReport,
+    /// `(workload, CPI)` for each constituent run, in [`Workload::ALL`] order.
+    pub per_workload: Vec<(Workload, f64)>,
+    /// Conservation-check failure message, if the reduction lost cycles.
+    pub conservation_err: Option<String>,
+}
+
+/// Run the five-workload composite described by `opts`.
+///
+/// Warmup is `instructions / 10` per workload (not measured); workload `i`
+/// uses `seed + i`. When `opts.flight_recorder > 0` each system gets a
+/// flight recorder of that capacity with the process panic hook armed, so a
+/// simulator panic dumps the last K retired instructions to stderr.
+pub fn run_composite(opts: &Options, progress: &Progress) -> RunOutput {
+    let instructions = opts.instructions;
+    let seed = opts.seed;
+    progress.info(&format!(
+        "running 5 workloads x {instructions} instructions (seed {seed}) ..."
+    ));
+    let mut per: Vec<(Workload, f64)> = Vec::new();
+    let mut composite = None;
+    let mut cs = None;
+    let mut series = TimeSeries::default();
+    let mut cycle_offset = 0u64;
+    for (i, &w) in Workload::ALL.iter().enumerate() {
+        let mut system = vax_workload::build_system(
+            w,
+            vax_workload::rte::PROCESSES_PER_WORKLOAD,
+            seed.wrapping_add(i as u64),
+        );
+        if opts.flight_recorder > 0 {
+            let recorder = SharedFlightRecorder::with_capacity(opts.flight_recorder);
+            recorder.register_panic_dump();
+            system.cpu.flight = recorder;
+            progress.debug(&format!(
+                "  {}: flight recorder armed (last {} instructions)",
+                w.name(),
+                opts.flight_recorder
+            ));
+        }
+        let (m, ts) = system.measure_sampled(instructions / 10, instructions, opts.interval_cycles);
+        progress.debug(&format!(
+            "  {}: {} cycles, {} interval samples",
+            w.name(),
+            m.cycles,
+            ts.samples.len()
+        ));
+        for mut s in ts.samples {
+            s.start_cycle += cycle_offset;
+            s.end_cycle += cycle_offset;
+            series.samples.push(s);
+        }
+        cycle_offset += m.cycles;
+        per.push((w, m.cpi()));
+        match &mut composite {
+            None => {
+                composite = Some(m);
+                cs = Some(system.cpu.cs.clone());
+            }
+            Some(c) => c.merge(&m),
+        }
+        progress.info(&format!(
+            "  {} done (CPI {:.2})",
+            w.name(),
+            per.last().unwrap().1
+        ));
+    }
+    let composite = composite.unwrap();
+    let cs = cs.unwrap();
+    let analysis = Analysis::new(&cs, &composite);
+    let conservation_err = analysis.check_conservation().err();
+    if let Some(e) = &conservation_err {
+        progress.warn(&format!("conservation check failed: {e}"));
+    }
+    let validation = validate(&cs, &composite);
+    if !validation.is_clean() {
+        progress.warn(&format!(
+            "counter validation diverged:\n{}",
+            validation.render()
+        ));
+    }
+    RunOutput {
+        analysis,
+        cs,
+        series,
+        validation,
+        per_workload: per,
+        conservation_err,
+    }
+}

@@ -115,6 +115,71 @@ impl TimeSeries {
         }
         out
     }
+
+    /// Parse a [`TimeSeries::to_csv`] export back into a series.
+    ///
+    /// The CSV is a lossy projection of the full measurement — it carries
+    /// totals, not their components, and no histogram — so the parsed
+    /// series stores each total in the first component counter
+    /// (`total_read_misses` into `d_read_misses`, `total_tb_misses` into
+    /// `tb_miss_d`, `total_interrupts` into `hw_interrupts`) and sets
+    /// `delta.cycles` to the interval length. Every exported column is
+    /// preserved: re-exporting the parsed series reproduces the CSV text
+    /// byte for byte (the derived `cpi` and `interrupt_headway` columns
+    /// recompute identically from the preserved fields).
+    ///
+    /// # Errors
+    /// Returns a message naming the offending line when the header or a
+    /// row does not match the export format.
+    pub fn from_csv(text: &str) -> Result<TimeSeries, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty CSV")?;
+        let expected = TimeSeries::default().to_csv();
+        if header != expected.trim_end() {
+            return Err(format!("unrecognized CSV header: '{header}'"));
+        }
+        let mut series = TimeSeries::default();
+        for (i, line) in lines.enumerate() {
+            let row = i + 2; // 1-based, after the header
+            let fields: Vec<&str> = line.split(',').collect();
+            if fields.len() != 13 {
+                return Err(format!(
+                    "line {row}: expected 13 fields, found {}",
+                    fields.len()
+                ));
+            }
+            let int = |col: usize| -> Result<u64, String> {
+                fields[col]
+                    .parse()
+                    .map_err(|_| format!("line {row}: bad integer '{}'", fields[col]))
+            };
+            let start_cycle = int(0)?;
+            let end_cycle = int(1)?;
+            if int(2)? != end_cycle.saturating_sub(start_cycle) {
+                return Err(format!("line {row}: cycles column disagrees with bounds"));
+            }
+            let mut delta = Measurement {
+                cycles: end_cycle - start_cycle,
+                ..Measurement::default()
+            };
+            delta.cpu_stats.instructions = int(3)?;
+            delta.mem_stats.read_stall_cycles = int(5)?;
+            delta.mem_stats.write_stall_cycles = int(6)?;
+            delta.mem_stats.i_reads = int(7)?;
+            delta.mem_stats.d_read_misses = int(8)?;
+            delta.mem_stats.tb_miss_d = int(9)?;
+            delta.cpu_stats.hw_interrupts = int(10)?;
+            delta.cpu_stats.context_switches = int(11)?;
+            // Columns 4 (cpi) and 12 (interrupt_headway) are derived; they
+            // are regenerated on export rather than stored.
+            series.samples.push(IntervalSample {
+                start_cycle,
+                end_cycle,
+                delta,
+            });
+        }
+        Ok(series)
+    }
 }
 
 #[cfg(test)]
@@ -156,6 +221,19 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert!(lines[0].starts_with("start_cycle,end_cycle,"));
         assert!(lines[1].starts_with("0,100,100,10,10.0000,3,0,"));
+    }
+
+    #[test]
+    fn csv_roundtrips_exactly() {
+        let ts = TimeSeries {
+            samples: vec![sample(0, 100, 10), sample(100, 250, 20)],
+        };
+        let csv = ts.to_csv();
+        let parsed = TimeSeries::from_csv(&csv).unwrap();
+        assert_eq!(parsed.to_csv(), csv);
+        assert_eq!(parsed.merged().instructions(), 30);
+        assert!(TimeSeries::from_csv("bogus header\n1,2\n").is_err());
+        assert!(TimeSeries::from_csv("").is_err());
     }
 
     #[test]

@@ -25,7 +25,7 @@ use vax_mem::{MemorySystem, PhysAddr, RefClass, VirtAddr};
 
 use crate::config::CpuConfig;
 use crate::exec::{self, Flow};
-use crate::flight::FlightRecorder;
+use crate::flight::SharedFlightRecorder;
 use crate::ib::Ib;
 use crate::ipr::Ipr;
 use crate::operand::{EvaldOperand, Loc, PendingWb};
@@ -72,8 +72,8 @@ pub struct Cpu {
     /// CPU-side statistics.
     pub stats: CpuStats,
     /// Ring of recently retired instructions, dumped on fatal errors.
-    /// Disabled by default; see [`FlightRecorder::with_capacity`].
-    pub flight: FlightRecorder,
+    /// Disabled by default; see [`SharedFlightRecorder::with_capacity`].
+    pub flight: SharedFlightRecorder,
     ib: Ib,
     pending_hw: Option<(u8, u32)>,
     next_timer: u64,
@@ -97,7 +97,7 @@ impl Cpu {
             config,
             iprs: Ipr::default(),
             stats: CpuStats::new(),
-            flight: FlightRecorder::disabled(),
+            flight: SharedFlightRecorder::disabled(),
             ib: Ib::new(),
             pending_hw: None,
             next_timer: config.timer_interval.unwrap_or(u64::MAX),

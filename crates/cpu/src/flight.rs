@@ -9,10 +9,17 @@
 //!
 //! Disabled (capacity 0) by default: recording disassembles every retired
 //! instruction into a `String`, which is far too expensive for measurement
-//! runs. Enable it with [`FlightRecorder::with_capacity`] when debugging a
-//! workload.
+//! runs. Enable it with [`SharedFlightRecorder::with_capacity`] when
+//! debugging a workload.
+//!
+//! The CPU holds a [`SharedFlightRecorder`] — a handle to a shared ring —
+//! so the same recorder can also be registered with a process-wide panic
+//! hook ([`SharedFlightRecorder::register_panic_dump`]): if the simulator
+//! panics anywhere (not only through the CPU's own fatal-error path), the
+//! hook dumps the ring to stderr before the process unwinds.
 
 use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, Once};
 
 use vax_arch::Instruction;
 
@@ -112,6 +119,127 @@ impl FlightRecorder {
     }
 }
 
+/// A shareable handle to a [`FlightRecorder`].
+///
+/// The CPU records through this handle on every retirement; a clone of the
+/// same handle can be registered with the process panic hook, so the ring
+/// is dumped even when the failure is a plain Rust panic rather than a
+/// simulated fatal error. The `enabled` flag is cached outside the lock:
+/// a disabled recorder (the default) costs one branch per retirement.
+#[derive(Debug, Clone, Default)]
+pub struct SharedFlightRecorder {
+    enabled: bool,
+    inner: Arc<Mutex<FlightRecorder>>,
+}
+
+impl SharedFlightRecorder {
+    /// A disabled recorder (recording is a no-op).
+    pub fn disabled() -> SharedFlightRecorder {
+        SharedFlightRecorder::default()
+    }
+
+    /// A recorder keeping the most recent `capacity` instructions.
+    pub fn with_capacity(capacity: usize) -> SharedFlightRecorder {
+        SharedFlightRecorder {
+            enabled: capacity > 0,
+            inner: Arc::new(Mutex::new(FlightRecorder::with_capacity(capacity))),
+        }
+    }
+
+    /// Whether recording is active.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record a retirement. No-op when disabled.
+    #[inline]
+    pub fn record(&self, pc: u32, cycle: u64, insn: &Instruction) {
+        if !self.enabled {
+            return;
+        }
+        self.inner.lock().unwrap().record(pc, cycle, insn);
+    }
+
+    /// Number of retained entries (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().unwrap().is_empty()
+    }
+
+    /// A copy of the retained entries, oldest first.
+    pub fn snapshot(&self) -> Vec<FlightEntry> {
+        self.inner.lock().unwrap().entries().cloned().collect()
+    }
+
+    /// Render the ring as a human-readable report (oldest first).
+    pub fn report(&self) -> String {
+        self.inner.lock().unwrap().report()
+    }
+
+    /// Dump the report to stderr (called on fatal simulation errors).
+    pub fn dump_stderr(&self) {
+        self.inner.lock().unwrap().dump_stderr();
+    }
+
+    /// Make this recorder the one the process panic hook dumps. The hook is
+    /// installed once per process (chaining to the previous hook); the most
+    /// recently registered recorder wins, so a harness running several
+    /// systems in sequence registers each one as it starts.
+    pub fn register_panic_dump(&self) {
+        *panic_target().lock().unwrap() = Some(self.inner.clone());
+        PANIC_HOOK.call_once(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                prev(info);
+                if let Some(report) = panic_dump() {
+                    eprintln!("{report}");
+                }
+            }));
+        });
+    }
+}
+
+static PANIC_HOOK: Once = Once::new();
+
+fn panic_target() -> &'static Mutex<Option<Arc<Mutex<FlightRecorder>>>> {
+    static TARGET: Mutex<Option<Arc<Mutex<FlightRecorder>>>> = Mutex::new(None);
+    &TARGET
+}
+
+fn last_panic_report() -> &'static Mutex<Option<String>> {
+    static LAST: Mutex<Option<String>> = Mutex::new(None);
+    &LAST
+}
+
+/// Render the registered recorder's report, remembering it for
+/// [`take_last_panic_report`]. Returns `None` when no recorder is
+/// registered, the ring is empty, or a lock is unavailable (`try_lock`:
+/// the panic may have happened while the recorder was mid-update, and the
+/// hook must never deadlock).
+pub fn panic_dump() -> Option<String> {
+    let target = panic_target().try_lock().ok()?.clone()?;
+    let recorder = target.try_lock().ok()?;
+    if recorder.is_empty() {
+        return None;
+    }
+    let report = recorder.report();
+    if let Ok(mut last) = last_panic_report().try_lock() {
+        *last = Some(report.clone());
+    }
+    Some(report)
+}
+
+/// Take the report produced by the most recent [`panic_dump`], if any.
+/// Lets tests observe what the panic hook printed to stderr.
+pub fn take_last_panic_report() -> Option<String> {
+    last_panic_report().lock().unwrap().take()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,5 +282,33 @@ mod tests {
         let rep = fr.report();
         assert!(rep.contains("MOVL"), "{rep}");
         assert!(rep.contains("0x00000200"), "{rep}");
+    }
+
+    #[test]
+    fn shared_handle_clones_share_the_ring() {
+        let a = SharedFlightRecorder::with_capacity(4);
+        let b = a.clone();
+        a.record(0x200, 1, &movl());
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.snapshot()[0].pc, 0x200);
+        let disabled = SharedFlightRecorder::disabled();
+        disabled.record(0x200, 1, &movl());
+        assert!(disabled.is_empty() && !disabled.is_enabled());
+    }
+
+    #[test]
+    fn panic_dump_reports_registered_recorder() {
+        let fr = SharedFlightRecorder::with_capacity(2);
+        fr.register_panic_dump();
+        assert_eq!(panic_dump(), None, "empty ring produces no report");
+        fr.record(0x300, 7, &movl());
+        let report = panic_dump().expect("non-empty ring must report");
+        assert!(report.contains("MOVL"), "{report}");
+        assert_eq!(take_last_panic_report().as_deref(), Some(report.as_str()));
+        assert_eq!(take_last_panic_report(), None, "take drains the slot");
+        // An actual panic (even a caught one) runs the hook.
+        let _ = std::panic::catch_unwind(|| panic!("injected test panic"));
+        let hooked = take_last_panic_report().expect("hook must have dumped");
+        assert!(hooked.contains("0x00000300"), "{hooked}");
     }
 }

@@ -37,7 +37,7 @@ pub mod store;
 
 pub use config::CpuConfig;
 pub use ebox::{Cpu, StepOutcome};
-pub use flight::{FlightEntry, FlightRecorder};
+pub use flight::{FlightEntry, FlightRecorder, SharedFlightRecorder};
 pub use ipr::Ipr;
 pub use stats::CpuStats;
 pub use store::ControlStore;

@@ -101,7 +101,7 @@ fn flight_recorder_caps_and_survives_bpt_dump() {
     let mut sys = b.build();
 
     const K: usize = 8;
-    sys.cpu.flight = vax_cpu::FlightRecorder::with_capacity(K);
+    sys.cpu.flight = vax_cpu::SharedFlightRecorder::with_capacity(K);
     sys.run_instructions(500);
 
     assert_eq!(sys.cpu.stats.exceptions, 1, "BPT raised one exception");
@@ -116,8 +116,13 @@ fn flight_recorder_caps_and_survives_bpt_dump() {
     );
     assert!(!report.contains("MOVL"), "{report}");
     // Entries are in cycle order.
-    let cycles: Vec<u64> = sys.cpu.flight.entries().map(|e| e.cycle).collect();
+    let cycles: Vec<u64> = sys.cpu.flight.snapshot().iter().map(|e| e.cycle).collect();
     assert!(cycles.windows(2).all(|w| w[0] < w[1]), "{cycles:?}");
+    // The same ring, registered with the panic hook, is dumped on panics.
+    sys.cpu.flight.register_panic_dump();
+    let _ = std::panic::catch_unwind(|| panic!("injected test panic"));
+    let dumped = vax_cpu::flight::take_last_panic_report().expect("hook dumps the ring");
+    assert!(dumped.contains("flight recorder"), "{dumped}");
 }
 
 #[test]
