@@ -28,6 +28,11 @@ pub struct RunManifest {
     pub warmup: u64,
     /// Sampling interval in cycles (0 = no interval sampling).
     pub interval_cycles: u64,
+    /// Replica shards per workload. Part of the experiment definition (each
+    /// shard adds `instructions` under its own seed stream), unlike the job
+    /// count, which is deliberately *not* recorded: exports must be
+    /// byte-identical at any parallelism.
+    pub shards: u64,
     /// Human-readable description of the simulated configuration.
     pub config: String,
 }
@@ -49,6 +54,7 @@ impl RunManifest {
             ("instructions", Json::from(self.instructions)),
             ("warmup", Json::from(self.warmup)),
             ("interval_cycles", Json::from(self.interval_cycles)),
+            ("shards", Json::from(self.shards)),
             ("config", Json::from(self.config.clone())),
         ])
     }
@@ -661,6 +667,7 @@ mod tests {
             instructions: 5_000,
             warmup: 500,
             interval_cycles: 2_000,
+            shards: 1,
             config: "default".to_string(),
         };
         let files = run_artifacts(&manifest, &a, &ts, &v);

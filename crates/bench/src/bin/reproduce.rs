@@ -1,7 +1,8 @@
 //! Regenerate the paper's tables: the full reproduction harness.
 //!
 //! ```text
-//! reproduce [--instructions N] [--seed S] [--experiment WHICH] [--per-workload]
+//! reproduce [--instructions N] [--seed S] [--jobs N] [--shards K]
+//!           [--experiment WHICH] [--per-workload]
 //!           [--format text|json] [--out DIR] [--interval-cycles N]
 //!           [--profile] [--top N] [--flight-recorder K] [--quiet|--verbose]
 //!           [--bench-out DIR]
@@ -10,6 +11,10 @@
 //!
 //! `WHICH` ∈ {fig1, table1..table9, events, all} (default `all`).
 //! `--per-workload` also prints the composite's five constituent CPIs.
+//! `--jobs N` runs the workload × shard grid on N worker threads; results
+//! are reduced in a fixed grid order, so exports are byte-identical at any
+//! job count (see `docs/PARALLELISM.md`). `--shards K` runs K replica
+//! shards per workload, each seeded from its own SplitMix64 stream.
 //!
 //! With `--format json`, the run emits machine-readable artifacts — the run
 //! manifest, raw measurement counters, Tables 1–9, the interval time series
@@ -160,6 +165,7 @@ fn run(opts: &Options) -> i32 {
             instructions: opts.instructions,
             warmup: opts.instructions / 10,
             interval_cycles: opts.interval_cycles,
+            shards: opts.shards,
             config: "default VAX-11/780 configuration, 5-workload composite".to_string(),
         };
         let files =

@@ -33,8 +33,17 @@ pub enum Format {
 pub struct Options {
     /// Instructions measured per workload.
     pub instructions: u64,
-    /// Base RNG seed (workload `i` uses `seed + i`).
+    /// Root RNG seed; each `(workload, shard)` cell runs with a
+    /// SplitMix64-split stream of it (`vax_workload::rte::shard_seed`).
     pub seed: u64,
+    /// Worker threads for the sharded execution engine (≥ 1). Changes
+    /// wall-clock time only, never results: exports are byte-identical at
+    /// any job count.
+    pub jobs: usize,
+    /// Replica shards per workload (≥ 1). Changes the experiment: each
+    /// shard measures `instructions` with its own seed stream and the
+    /// shards merge into the workload's measurement.
+    pub shards: u64,
     /// Which table/figure to emit (one of [`EXPERIMENTS`]).
     pub experiment: String,
     /// Also print the five constituent per-workload CPIs.
@@ -64,6 +73,8 @@ impl Default for Options {
         Options {
             instructions: crate::DEFAULT_INSTRUCTIONS,
             seed: crate::DEFAULT_SEED,
+            jobs: 1,
+            shards: 1,
             experiment: "all".to_string(),
             per_workload: false,
             format: Format::Text,
@@ -102,7 +113,7 @@ pub enum Command {
 
 /// One-line usage string.
 pub fn usage() -> String {
-    "usage: reproduce [--instructions N] [--seed S] \
+    "usage: reproduce [--instructions N] [--seed S] [--jobs N] [--shards K] \
      [--experiment fig1|table1..table9|events|all] [--per-workload] \
      [--format text|json] [--out DIR] [--interval-cycles N] \
      [--profile] [--top N] [--flight-recorder K] [--quiet|--verbose] \
@@ -206,6 +217,21 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
                 i += 1;
                 opts.seed = parse_u64("--seed", args.get(i))?;
             }
+            "--jobs" => {
+                i += 1;
+                let n = parse_u64("--jobs", args.get(i))?;
+                if n == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+                opts.jobs = n as usize;
+            }
+            "--shards" => {
+                i += 1;
+                opts.shards = parse_u64("--shards", args.get(i))?;
+                if opts.shards == 0 {
+                    return Err("--shards must be at least 1".to_string());
+                }
+            }
             "--interval-cycles" => {
                 i += 1;
                 opts.interval_cycles = parse_u64("--interval-cycles", args.get(i))?;
@@ -303,6 +329,8 @@ mod tests {
         let o = parse(&[]).unwrap();
         assert_eq!(o.instructions, crate::DEFAULT_INSTRUCTIONS);
         assert_eq!(o.seed, crate::DEFAULT_SEED);
+        assert_eq!(o.jobs, 1);
+        assert_eq!(o.shards, 1);
         assert_eq!(o.experiment, "all");
         assert_eq!(o.format, Format::Text);
         assert!(o.out.is_none());
@@ -320,6 +348,10 @@ mod tests {
             "5000",
             "--seed",
             "7",
+            "--jobs",
+            "4",
+            "--shards",
+            "2",
             "--experiment",
             "table8",
             "--per-workload",
@@ -341,6 +373,8 @@ mod tests {
         .unwrap();
         assert_eq!(o.instructions, 5000);
         assert_eq!(o.seed, 7);
+        assert_eq!(o.jobs, 4);
+        assert_eq!(o.shards, 2);
         assert_eq!(o.experiment, "table8");
         assert!(o.per_workload);
         assert_eq!(o.format, Format::Json);
@@ -383,6 +417,10 @@ mod tests {
         assert!(parse(&["--instructions", "0"]).is_err());
         assert!(parse(&["--interval-cycles", "0"]).is_err());
         assert!(parse(&["--top", "0"]).is_err());
+        let err = parse(&["--jobs", "0"]).unwrap_err();
+        assert!(err.contains("--jobs must be at least 1"), "{err}");
+        let err = parse(&["--shards", "0"]).unwrap_err();
+        assert!(err.contains("--shards must be at least 1"), "{err}");
         assert!(parse(&["--seed", "0"]).is_ok(), "seed zero is valid");
         assert!(
             parse(&["--flight-recorder", "0"]).is_ok(),

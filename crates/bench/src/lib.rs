@@ -8,6 +8,7 @@ pub mod cli;
 pub mod diffcmd;
 pub mod harness;
 pub mod meter;
+pub mod pool;
 pub mod progress;
 pub mod runner;
 

@@ -1,0 +1,170 @@
+//! A minimal scoped-thread job pool for the sharded execution engine.
+//!
+//! The simulated systems are deliberately `!Send` (the trace bus hands
+//! `Rc<RefCell<dyn TraceSink>>` handles to every subsystem), so the pool
+//! never moves a system between threads. Instead each worker *builds* its
+//! systems locally: jobs go in as `Sync` descriptions (`&I`), results come
+//! out as `Send` values (`O`), and the caller sees them in input order —
+//! slot `i` of the returned vector always holds the output for `inputs[i]`,
+//! no matter which worker ran it or when it finished. That input-indexed
+//! contract is what lets the runner merge shard results deterministically.
+//!
+//! Panic handling: a panicking job does not poison the pool or deadlock the
+//! scope. The first panic wins — its payload and job index are captured,
+//! the remaining queue is abandoned (in-flight jobs finish), and the caller
+//! gets a [`JobPanic`] to contextualize (e.g. with that shard's flight
+//! recording) before resuming the unwind.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A panic captured from a worker: which job blew up, and the payload the
+/// job panicked with (re-raise it with [`std::panic::resume_unwind`]).
+pub struct JobPanic {
+    /// Index into the `inputs` slice of the job that panicked.
+    pub index: usize,
+    /// The panic payload, exactly as `catch_unwind` caught it.
+    pub payload: Box<dyn Any + Send>,
+}
+
+impl std::fmt::Debug for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobPanic")
+            .field("index", &self.index)
+            .field("message", &panic_message(&self.payload))
+            .finish()
+    }
+}
+
+/// Best-effort extraction of the human-readable message from a panic
+/// payload (`&str` and `String` payloads cover `panic!` and `assert!`).
+pub fn panic_message(payload: &Box<dyn Any + Send>) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "<non-string panic payload>"
+    }
+}
+
+/// Run `f` over every input on `jobs` worker threads and return the outputs
+/// in input order.
+///
+/// `f(i, &inputs[i])` may run on any worker; workers pull the next
+/// unclaimed index from a shared counter, so at most `jobs` calls are in
+/// flight and long jobs don't starve short ones of a thread. With
+/// `jobs == 1` the single worker processes indices `0..n` strictly in
+/// order — the serial loop, verbatim.
+///
+/// # Errors
+/// If any job panics, the first panic (by completion order) is returned as
+/// a [`JobPanic`]; queued jobs that had not started are skipped.
+///
+/// # Panics
+/// Panics if `jobs == 0` (the CLI rejects this before we get here).
+pub fn run_jobs<I, O, F>(jobs: usize, inputs: &[I], f: F) -> Result<Vec<O>, JobPanic>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(usize, &I) -> O + Sync,
+{
+    assert!(jobs > 0, "run_jobs: jobs must be at least 1");
+    let next = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let slots: Vec<Mutex<Option<O>>> = inputs.iter().map(|_| Mutex::new(None)).collect();
+    let first_panic: Mutex<Option<JobPanic>> = Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        let workers = jobs.min(inputs.len().max(1));
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                if abort.load(Ordering::Acquire) {
+                    return;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(input) = inputs.get(i) else { return };
+                match catch_unwind(AssertUnwindSafe(|| f(i, input))) {
+                    Ok(out) => *slots[i].lock().unwrap() = Some(out),
+                    Err(payload) => {
+                        abort.store(true, Ordering::Release);
+                        let mut guard = first_panic.lock().unwrap();
+                        if guard.is_none() {
+                            *guard = Some(JobPanic { index: i, payload });
+                        }
+                        return;
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some(p) = first_panic.into_inner().unwrap() {
+        return Err(p);
+    }
+    Ok(slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("run_jobs: no panic recorded yet a slot is empty")
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let inputs: Vec<u64> = (0..32).collect();
+        let out = run_jobs(4, &inputs, |i, &x| {
+            // Stagger completion so later indices tend to finish first.
+            std::thread::sleep(std::time::Duration::from_micros((32 - i as u64) * 50));
+            x * x
+        })
+        .unwrap();
+        let want: Vec<u64> = inputs.iter().map(|x| x * x).collect();
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn more_jobs_than_inputs_and_empty_input() {
+        let out = run_jobs(8, &[1u32, 2], |_, &x| x + 1).unwrap();
+        assert_eq!(out, vec![2, 3]);
+        let none: Vec<u32> = run_jobs(4, &[], |_, &x: &u32| x).unwrap();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let inputs: Vec<u64> = (0..20).collect();
+        let f = |i: usize, &x: &u64| x.wrapping_mul(0x9E37_79B9).rotate_left(i as u32);
+        let serial = run_jobs(1, &inputs, f).unwrap();
+        let parallel = run_jobs(4, &inputs, f).unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn panic_propagates_without_deadlock() {
+        let inputs: Vec<u64> = (0..16).collect();
+        let err = run_jobs(4, &inputs, |_, &x| {
+            if x == 5 {
+                panic!("shard {x} exploded");
+            }
+            x
+        })
+        .unwrap_err();
+        assert_eq!(err.index, 5);
+        assert_eq!(panic_message(&err.payload), "shard 5 exploded");
+    }
+
+    #[test]
+    fn zero_jobs_is_a_programming_error() {
+        let r = std::panic::catch_unwind(|| run_jobs(0, &[1u8], |_, &x| x));
+        assert!(r.is_err());
+    }
+}

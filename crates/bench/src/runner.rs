@@ -1,17 +1,32 @@
-//! The composite measurement loop, extracted from the `reproduce` binary so
-//! integration tests (and the fixture-freshness check) can run the exact
+//! The composite measurement engine, extracted from the `reproduce` binary
+//! so integration tests (and the fixture-freshness check) can run the exact
 //! same code path programmatically.
 //!
-//! Runs the five workloads back to back, merges their measurements into the
-//! paper's composite, splices the interval samples into one contiguous time
-//! series, and reduces the result against the shared control store.
+//! The run is a grid of independent shard jobs — one per `(workload,
+//! shard)` cell, seeded by `vax_workload::rte::shard_seed` — executed on a
+//! [`crate::pool`] of worker threads. Each worker builds its own simulated
+//! system (the systems are `!Send`; only job descriptions and results
+//! cross threads) and measures it; the parent then reduces the results in
+//! `(workload, shard)` index order: measurements through
+//! [`vax780::merge_ordered`], interval samples through
+//! [`TimeSeries::splice`]. Because the reduction order is fixed by index
+//! and never by completion order, a run's output is byte-identical at any
+//! `--jobs` count — `--jobs` buys wall-clock time, not different numbers.
+//!
+//! A panicking shard does not hang the pool: the pool hands back which job
+//! died, the parent dumps that shard's flight recording (when armed) so
+//! the crash comes with its instruction-level backtrace, and the original
+//! panic resumes.
 
-use vax780::TimeSeries;
+use std::panic::resume_unwind;
+
+use vax780::{merge_ordered, Measurement, TimeSeries};
 use vax_analysis::{validate, Analysis, ValidationReport};
 use vax_cpu::{ControlStore, SharedFlightRecorder};
 use vax_workload::Workload;
 
 use crate::cli::Options;
+use crate::pool::{panic_message, run_jobs};
 use crate::progress::Progress;
 
 /// Everything a composite run produces, ready for rendering or export.
@@ -19,82 +34,141 @@ use crate::progress::Progress;
 pub struct RunOutput {
     /// The reduced composite analysis (owns the merged [`vax780::Measurement`]).
     pub analysis: Analysis,
-    /// The control store the reduction was keyed on (all five systems share
-    /// the same layout).
+    /// The control store the reduction was keyed on (all systems share the
+    /// same layout).
     pub cs: ControlStore,
-    /// Composite interval time series, cycle offsets spliced so the five
-    /// workloads form one contiguous timeline.
+    /// Composite interval time series, cycle offsets spliced so every
+    /// shard of every workload forms one contiguous timeline in
+    /// `(workload, shard)` order.
     pub series: TimeSeries,
     /// Counter-conservation validation of the composite measurement.
     pub validation: ValidationReport,
-    /// `(workload, CPI)` for each constituent run, in [`Workload::ALL`] order.
+    /// `(workload, CPI)` for each workload's merged shards, in
+    /// [`Workload::ALL`] order.
     pub per_workload: Vec<(Workload, f64)>,
     /// Conservation-check failure message, if the reduction lost cycles.
     pub conservation_err: Option<String>,
 }
 
-/// Run the five-workload composite described by `opts`.
+/// One cell of the run grid: workload `workload_index`, replica `shard`.
+struct ShardJob {
+    workload: Workload,
+    workload_index: u64,
+    shard: u64,
+    /// This shard's flight recorder (disabled unless `--flight-recorder`);
+    /// the parent keeps the handle so a worker panic can be dumped with
+    /// the right shard's instruction history.
+    recorder: SharedFlightRecorder,
+}
+
+/// What a shard sends back across the thread boundary.
+struct ShardResult {
+    m: Measurement,
+    series: TimeSeries,
+    /// Control-store layout, captured by the first grid cell only (every
+    /// system shares the same microcode image).
+    cs: Option<ControlStore>,
+}
+
+/// Run the workload × shard grid described by `opts`.
 ///
-/// Warmup is `instructions / 10` per workload (not measured); workload `i`
-/// uses `seed + i`. When `opts.flight_recorder > 0` each system gets a
-/// flight recorder of that capacity with the process panic hook armed, so a
-/// simulator panic dumps the last K retired instructions to stderr.
+/// Warmup is `instructions / 10` per shard (not measured); the cell at
+/// `(workload w, shard s)` is seeded with
+/// `SeedStream::new(seed).stream(w).stream(s)`. Up to `opts.jobs` shards
+/// run concurrently; results are reduced in grid-index order so the output
+/// does not depend on `opts.jobs`. When `opts.flight_recorder > 0` every
+/// shard gets its own recorder of that capacity, and a shard panic dumps
+/// that shard's last K retired instructions to stderr before propagating.
+///
+/// # Panics
+/// Panics if `opts.jobs == 0` or `opts.shards == 0` (the CLI rejects both
+/// up front), or by resuming a worker's panic.
 pub fn run_composite(opts: &Options, progress: &Progress) -> RunOutput {
+    assert!(opts.shards > 0, "run_composite: shards must be at least 1");
     let instructions = opts.instructions;
     let seed = opts.seed;
+    let shards = opts.shards as usize;
     progress.info(&format!(
-        "running 5 workloads x {instructions} instructions (seed {seed}) ..."
+        "running 5 workloads x {shards} shard(s) x {instructions} instructions \
+         (seed {seed}, {} job(s)) ...",
+        opts.jobs
     ));
+
+    let grid: Vec<ShardJob> = Workload::ALL
+        .iter()
+        .enumerate()
+        .flat_map(|(w, &workload)| {
+            (0..opts.shards).map(move |shard| ShardJob {
+                workload,
+                workload_index: w as u64,
+                shard,
+                recorder: SharedFlightRecorder::with_capacity(opts.flight_recorder),
+            })
+        })
+        .collect();
+
+    let results = run_jobs(opts.jobs, &grid, |_, job: &ShardJob| {
+        let mut system =
+            vax_workload::rte::build_shard(job.workload, job.workload_index, job.shard, seed);
+        if job.recorder.is_enabled() {
+            system.cpu.flight = job.recorder.clone();
+        }
+        let (m, series) =
+            system.measure_sampled(instructions / 10, instructions, opts.interval_cycles);
+        progress.debug(&format!(
+            "  {} shard {}: {} cycles, {} interval samples",
+            job.workload.name(),
+            job.shard,
+            m.cycles,
+            series.samples.len()
+        ));
+        let cs = (job.workload_index == 0 && job.shard == 0).then(|| system.cpu.cs.clone());
+        ShardResult { m, series, cs }
+    });
+
+    let mut results = match results {
+        Ok(r) => r,
+        Err(p) => {
+            let job = &grid[p.index];
+            progress.warn(&format!(
+                "{} shard {} panicked: {}",
+                job.workload.name(),
+                job.shard,
+                panic_message(&p.payload)
+            ));
+            if job.recorder.is_enabled() && !job.recorder.is_empty() {
+                job.recorder.dump_stderr();
+            }
+            resume_unwind(p.payload);
+        }
+    };
+
+    // Deterministic reduction: grid-index order, regardless of which
+    // worker finished when.
+    let cs = results[0].cs.take().expect("first grid cell captures cs");
     let mut per: Vec<(Workload, f64)> = Vec::new();
-    let mut composite = None;
-    let mut cs = None;
+    let mut composite = Measurement::default();
     let mut series = TimeSeries::default();
     let mut cycle_offset = 0u64;
-    for (i, &w) in Workload::ALL.iter().enumerate() {
-        let mut system = vax_workload::build_system(
-            w,
-            vax_workload::rte::PROCESSES_PER_WORKLOAD,
-            seed.wrapping_add(i as u64),
-        );
-        if opts.flight_recorder > 0 {
-            let recorder = SharedFlightRecorder::with_capacity(opts.flight_recorder);
-            recorder.register_panic_dump();
-            system.cpu.flight = recorder;
-            progress.debug(&format!(
-                "  {}: flight recorder armed (last {} instructions)",
-                w.name(),
-                opts.flight_recorder
-            ));
-        }
-        let (m, ts) = system.measure_sampled(instructions / 10, instructions, opts.interval_cycles);
-        progress.debug(&format!(
-            "  {}: {} cycles, {} interval samples",
-            w.name(),
-            m.cycles,
-            ts.samples.len()
-        ));
-        for mut s in ts.samples {
-            s.start_cycle += cycle_offset;
-            s.end_cycle += cycle_offset;
-            series.samples.push(s);
-        }
-        cycle_offset += m.cycles;
-        per.push((w, m.cpi()));
-        match &mut composite {
-            None => {
-                composite = Some(m);
-                cs = Some(system.cpu.cs.clone());
-            }
-            Some(c) => c.merge(&m),
+    for (w, &workload) in Workload::ALL.iter().enumerate() {
+        let cells = &results[w * shards..(w + 1) * shards];
+        let merged: Measurement = merge_ordered(cells.iter().map(|r| &r.m));
+        for r in cells {
+            // Advance by the shard's measured cycles, not the last sample
+            // boundary: a measurement whose tail produced no sample still
+            // occupies its cycles on the composite timeline.
+            series.splice(cycle_offset, &r.series);
+            cycle_offset += r.m.cycles;
         }
         progress.info(&format!(
             "  {} done (CPI {:.2})",
-            w.name(),
-            per.last().unwrap().1
+            workload.name(),
+            merged.cpi()
         ));
+        per.push((workload, merged.cpi()));
+        composite.merge(&merged);
     }
-    let composite = composite.unwrap();
-    let cs = cs.unwrap();
+
     let analysis = Analysis::new(&cs, &composite);
     let conservation_err = analysis.check_conservation().err();
     if let Some(e) = &conservation_err {

@@ -29,10 +29,12 @@
 
 pub mod kernel;
 pub mod measurement;
+pub mod merge;
 pub mod sampler;
 pub mod system;
 
 pub use kernel::KernelConfig;
 pub use measurement::Measurement;
+pub use merge::{merge_ordered, Mergeable};
 pub use sampler::{IntervalSample, TimeSeries};
 pub use system::{ProcessSpec, System, SystemBuilder, SystemConfig};

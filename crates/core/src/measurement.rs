@@ -10,7 +10,7 @@ use vax_mem::MemStats;
 /// Measurements are mergeable — the paper's composite workload is "the sum
 /// of the five UPC histograms" — and diffable, which is how the interval
 /// sampler derives per-interval deltas from cumulative counters.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Measurement {
     /// The histogram board contents.
     pub hist: Histogram,

@@ -83,6 +83,50 @@ impl TimeSeries {
         total
     }
 
+    /// Cycle stamp of the last sample's end (0 when empty): the offset at
+    /// which the next spliced series would begin.
+    pub fn end_cycle(&self) -> u64 {
+        self.samples.last().map_or(0, |s| s.end_cycle)
+    }
+
+    /// Append `other`'s samples rebased by `cycle_offset`, so several
+    /// independently-measured series (each starting at cycle 0) form one
+    /// contiguous timeline. Returns `cycle_offset` shifted past the spliced
+    /// samples — feed it to the next `splice` call:
+    ///
+    /// ```
+    /// # use vax780::TimeSeries;
+    /// # let (a, b) = (TimeSeries::default(), TimeSeries::default());
+    /// let mut composite = TimeSeries::default();
+    /// let mut offset = 0;
+    /// offset = composite.splice(offset, &a);
+    /// offset = composite.splice(offset, &b);
+    /// ```
+    ///
+    /// Splicing at `self.end_cycle()` keeps the series contiguous
+    /// (`samples[i].end_cycle == samples[i+1].start_cycle`); a larger
+    /// offset models unrecorded cycles between the runs (a measurement
+    /// whose tail produced no sample).
+    ///
+    /// # Panics
+    /// Panics if `cycle_offset` is earlier than the current end of the
+    /// series — the splice would run time backwards.
+    pub fn splice(&mut self, cycle_offset: u64, other: &TimeSeries) -> u64 {
+        assert!(
+            cycle_offset >= self.end_cycle(),
+            "TimeSeries::splice: offset {cycle_offset} precedes series end {}",
+            self.end_cycle()
+        );
+        for s in &other.samples {
+            self.samples.push(IntervalSample {
+                start_cycle: s.start_cycle + cycle_offset,
+                end_cycle: s.end_cycle + cycle_offset,
+                delta: s.delta.clone(),
+            });
+        }
+        cycle_offset + other.end_cycle()
+    }
+
     /// Render as CSV: one row per interval with the headline per-interval
     /// statistics (cycles, instructions, CPI, stall breakdown, events).
     pub fn to_csv(&self) -> String {
@@ -234,6 +278,58 @@ mod tests {
         assert_eq!(parsed.merged().instructions(), 30);
         assert!(TimeSeries::from_csv("bogus header\n1,2\n").is_err());
         assert!(TimeSeries::from_csv("").is_err());
+    }
+
+    #[test]
+    fn splice_rebases_and_roundtrips() {
+        let a = TimeSeries {
+            samples: vec![sample(0, 100, 10), sample(100, 250, 20)],
+        };
+        let b = TimeSeries {
+            samples: vec![sample(0, 40, 4), sample(40, 90, 6)],
+        };
+        let mut spliced = TimeSeries::default();
+        let off = spliced.splice(0, &a);
+        assert_eq!(off, 250);
+        assert_eq!(spliced.to_csv(), a.to_csv(), "identity splice at offset 0");
+        let end = spliced.splice(off, &b);
+        assert_eq!(end, 340);
+        assert_eq!(spliced.end_cycle(), 340);
+        // Contiguous timeline across the seam.
+        for w in spliced.samples.windows(2) {
+            assert_eq!(w[0].end_cycle, w[1].start_cycle);
+        }
+        // Conservation: the spliced series merges to the sum of the parts.
+        let mut want = a.merged();
+        want.merge(&b.merged());
+        assert_eq!(spliced.merged(), want);
+        // Round trip: rebasing the tail back by the splice offset
+        // reproduces `b` exactly.
+        let mut back = TimeSeries::default();
+        for s in &spliced.samples[a.len()..] {
+            back.samples.push(IntervalSample {
+                start_cycle: s.start_cycle - off,
+                end_cycle: s.end_cycle - off,
+                delta: s.delta.clone(),
+            });
+        }
+        assert_eq!(back.to_csv(), b.to_csv());
+        assert_eq!(back.merged(), b.merged());
+    }
+
+    #[test]
+    fn splice_allows_gaps_but_not_overlap() {
+        let a = TimeSeries {
+            samples: vec![sample(0, 100, 10)],
+        };
+        let mut ts = TimeSeries::default();
+        ts.splice(0, &a);
+        // A gap (unsampled tail cycles) is legal and preserved.
+        let end = ts.splice(130, &a);
+        assert_eq!(end, 230);
+        assert_eq!(ts.samples[1].start_cycle, 130);
+        let overlap = std::panic::catch_unwind(move || ts.splice(50, &a));
+        assert!(overlap.is_err(), "overlapping splice must panic");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use vax_arch::{BranchKind, Opcode};
 
 /// Counters accumulated by the CPU while stepping.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CpuStats {
     /// Instructions retired.
     pub instructions: u64,
@@ -116,10 +116,49 @@ impl CpuStats {
         self.istream_bytes as f64 / self.instructions as f64
     }
 
+    /// Every scalar counter, in declaration order — the single field list
+    /// shared by [`CpuStats::merge`] and [`CpuStats::diff`], so a newly
+    /// added counter cannot be summed but not diffed (or vice versa). The
+    /// per-opcode and per-branch-class arrays are handled alongside.
+    fn scalars(&self) -> [u64; 12] {
+        [
+            self.instructions,
+            self.istream_bytes,
+            self.hw_interrupts,
+            self.sw_interrupts,
+            self.sw_interrupt_requests,
+            self.context_switches,
+            self.exceptions,
+            self.spec1_count,
+            self.spec26_count,
+            self.spec1_quad_repeats,
+            self.spec26_quad_repeats,
+            self.branch_disps,
+        ]
+    }
+
+    fn scalars_mut(&mut self) -> [&mut u64; 12] {
+        [
+            &mut self.instructions,
+            &mut self.istream_bytes,
+            &mut self.hw_interrupts,
+            &mut self.sw_interrupts,
+            &mut self.sw_interrupt_requests,
+            &mut self.context_switches,
+            &mut self.exceptions,
+            &mut self.spec1_count,
+            &mut self.spec26_count,
+            &mut self.spec1_quad_repeats,
+            &mut self.spec26_quad_repeats,
+            &mut self.branch_disps,
+        ]
+    }
+
     /// Merge another stats block (composite workloads).
     pub fn merge(&mut self, other: &CpuStats) {
-        self.instructions += other.instructions;
-        self.istream_bytes += other.istream_bytes;
+        for (a, b) in self.scalars_mut().into_iter().zip(other.scalars()) {
+            *a += b;
+        }
         for (a, b) in self.opcode_counts.iter_mut().zip(&other.opcode_counts) {
             *a += b;
         }
@@ -127,16 +166,6 @@ impl CpuStats {
             self.branch_executed[i] += other.branch_executed[i];
             self.branch_taken[i] += other.branch_taken[i];
         }
-        self.hw_interrupts += other.hw_interrupts;
-        self.sw_interrupts += other.sw_interrupts;
-        self.sw_interrupt_requests += other.sw_interrupt_requests;
-        self.context_switches += other.context_switches;
-        self.exceptions += other.exceptions;
-        self.spec1_count += other.spec1_count;
-        self.spec26_count += other.spec26_count;
-        self.spec1_quad_repeats += other.spec1_quad_repeats;
-        self.spec26_quad_repeats += other.spec26_quad_repeats;
-        self.branch_disps += other.branch_disps;
     }
 
     /// Counter-wise `self - earlier` (interval sampling).
@@ -150,8 +179,9 @@ impl CpuStats {
                 .expect("CpuStats::diff: counter ran backwards")
         }
         let mut out = self.clone();
-        out.instructions = sub(self.instructions, earlier.instructions);
-        out.istream_bytes = sub(self.istream_bytes, earlier.istream_bytes);
+        for (o, b) in out.scalars_mut().into_iter().zip(earlier.scalars()) {
+            *o = sub(*o, b);
+        }
         for (o, (a, b)) in out
             .opcode_counts
             .iter_mut()
@@ -163,16 +193,6 @@ impl CpuStats {
             out.branch_executed[i] = sub(self.branch_executed[i], earlier.branch_executed[i]);
             out.branch_taken[i] = sub(self.branch_taken[i], earlier.branch_taken[i]);
         }
-        out.hw_interrupts = sub(self.hw_interrupts, earlier.hw_interrupts);
-        out.sw_interrupts = sub(self.sw_interrupts, earlier.sw_interrupts);
-        out.sw_interrupt_requests = sub(self.sw_interrupt_requests, earlier.sw_interrupt_requests);
-        out.context_switches = sub(self.context_switches, earlier.context_switches);
-        out.exceptions = sub(self.exceptions, earlier.exceptions);
-        out.spec1_count = sub(self.spec1_count, earlier.spec1_count);
-        out.spec26_count = sub(self.spec26_count, earlier.spec26_count);
-        out.spec1_quad_repeats = sub(self.spec1_quad_repeats, earlier.spec1_quad_repeats);
-        out.spec26_quad_repeats = sub(self.spec26_quad_repeats, earlier.spec26_quad_repeats);
-        out.branch_disps = sub(self.branch_disps, earlier.branch_disps);
         out
     }
 }

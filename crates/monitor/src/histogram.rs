@@ -177,6 +177,18 @@ impl Default for Histogram {
     }
 }
 
+/// Two boards are equal when they recorded the same counts. The transient
+/// `running` flag is collection state, not data: a stopped snapshot and a
+/// still-armed board with identical buckets compare equal, which is what
+/// merge-law reasoning (`a ⊕ b = b ⊕ a`, `∅ ⊕ a = a`) needs.
+impl PartialEq for Histogram {
+    fn eq(&self, other: &Histogram) -> bool {
+        self.normal == other.normal && self.stalled == other.stalled
+    }
+}
+
+impl Eq for Histogram {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -226,6 +238,22 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.read(MicroPc(3), Plane::Normal), 7);
         assert_eq!(a.read(MicroPc(4), Plane::Stalled), 1);
+    }
+
+    #[test]
+    fn equality_ignores_collection_state() {
+        let mut a = Histogram::new_16k();
+        let mut b = Histogram::new_16k();
+        a.start();
+        a.record(MicroPc(3), Plane::Normal);
+        b.start();
+        b.record(MicroPc(3), Plane::Normal);
+        b.stop();
+        assert_eq!(a, b, "running flag is not data");
+        b.record(MicroPc(3), Plane::Stalled); // stopped: no-op
+        assert_eq!(a, b);
+        a.record(MicroPc(4), Plane::Stalled);
+        assert_ne!(a, b);
     }
 
     #[test]

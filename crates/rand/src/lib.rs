@@ -148,6 +148,74 @@ pub trait SeedableRng: Sized {
     fn seed_from_u64(seed: u64) -> Self;
 }
 
+/// The SplitMix64 finalizer: a bijective avalanche mix over `u64`.
+///
+/// Used both to expand seeds into xoshiro state and to split independent
+/// seed streams ([`SeedStream`]). Being bijective, distinct inputs always
+/// produce distinct outputs.
+#[inline]
+pub fn splitmix64_mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic, hierarchical seed splitter.
+///
+/// Parallel measurement campaigns need one seed per `(workload, shard)`
+/// cell, and those seeds must be (a) reproducible from the single
+/// user-supplied root seed, (b) independent of execution order, and (c)
+/// well-separated — `root + i` style derivation hands adjacent generators
+/// nearly identical xoshiro states. `SeedStream` solves this with the
+/// SplitMix64 finalizer: `stream(id)` mixes the child id into the parent
+/// state through a full avalanche, so any grid of ids yields decorrelated
+/// seeds, and nested splits (`root.stream(w).stream(s)`) give every shard
+/// its own stream without coordination.
+///
+/// ```
+/// use rand::SeedStream;
+/// let root = SeedStream::new(1984);
+/// let shard_seed = root.stream(2).stream(0).seed(); // workload 2, shard 0
+/// assert_eq!(shard_seed, SeedStream::new(1984).stream(2).stream(0).seed());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedStream {
+    state: u64,
+}
+
+impl SeedStream {
+    /// The stream rooted at `root`. The root stream's [`SeedStream::seed`]
+    /// is `root` itself, so a root stream is a drop-in replacement for a
+    /// plain seed.
+    pub fn new(root: u64) -> SeedStream {
+        SeedStream { state: root }
+    }
+
+    /// The `id`-th child stream. Children with distinct ids (or distinct
+    /// parents) have well-separated states; `stream` is pure, so the same
+    /// `(root, id)` path always yields the same stream.
+    #[must_use]
+    pub fn stream(&self, id: u64) -> SeedStream {
+        SeedStream {
+            state: splitmix64_mix(
+                self.state ^ id.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ),
+        }
+    }
+
+    /// The stream's seed value, for `SeedableRng::seed_from_u64` or any
+    /// other consumer of a `u64` seed.
+    pub fn seed(&self) -> u64 {
+        self.state
+    }
+
+    /// An [`rngs::StdRng`] seeded from this stream.
+    pub fn rng(&self) -> rngs::StdRng {
+        rngs::StdRng::seed_from_u64(self.state)
+    }
+}
+
 /// RNG implementations (mirrors `rand::rngs`).
 pub mod rngs {
     use super::{Rng, SeedableRng};
@@ -158,12 +226,12 @@ pub mod rngs {
         s: [u64; 4],
     }
 
+    /// One step of the SplitMix64 sequence: emit the mix of the current
+    /// state and advance it by the golden-ratio increment.
     fn splitmix64(state: &mut u64) -> u64 {
+        let out = crate::splitmix64_mix(*state);
         *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = *state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+        out
     }
 
     impl SeedableRng for StdRng {
@@ -255,5 +323,55 @@ mod tests {
     fn empty_range_panics() {
         let mut r = StdRng::seed_from_u64(1);
         let _ = r.gen_range(5..5);
+    }
+
+    mod seed_stream {
+        use crate::{Rng, SeedStream};
+        use std::collections::HashSet;
+
+        #[test]
+        fn deterministic_and_path_dependent() {
+            let a = SeedStream::new(1984).stream(3).stream(1);
+            let b = SeedStream::new(1984).stream(3).stream(1);
+            assert_eq!(a.seed(), b.seed());
+            assert_eq!(a.rng().next_u64(), b.rng().next_u64());
+            // Different path, different stream — even when the flat ids match.
+            assert_ne!(
+                SeedStream::new(1984).stream(1).stream(3).seed(),
+                SeedStream::new(1984).stream(3).stream(1).seed()
+            );
+            assert_ne!(SeedStream::new(1983).stream(3).seed(), a.seed());
+        }
+
+        #[test]
+        fn root_seed_is_the_root() {
+            assert_eq!(SeedStream::new(42).seed(), 42);
+        }
+
+        #[test]
+        fn children_do_not_collide_over_a_grid() {
+            // Every (workload, shard) cell of a generous grid gets a
+            // distinct seed, and none equals the root.
+            let root = SeedStream::new(1984);
+            let mut seen = HashSet::new();
+            seen.insert(root.seed());
+            for w in 0..64u64 {
+                for s in 0..64u64 {
+                    assert!(
+                        seen.insert(root.stream(w).stream(s).seed()),
+                        "collision at ({w}, {s})"
+                    );
+                }
+            }
+        }
+
+        #[test]
+        fn adjacent_ids_are_decorrelated() {
+            // seed+i derivation leaves adjacent seeds one bit apart; split
+            // streams must differ across the whole word.
+            let root = SeedStream::new(0);
+            let bits_flipped = (root.stream(0).seed() ^ root.stream(1).seed()).count_ones();
+            assert!(bits_flipped >= 16, "only {bits_flipped} bits differ");
+        }
     }
 }

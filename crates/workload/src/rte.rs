@@ -1,6 +1,7 @@
 //! RTE-style experiment assembly: build a multi-user system for a
 //! workload, run it, and form the composite measurement.
 
+use rand::SeedStream;
 use vax780::{Measurement, System, SystemBuilder, SystemConfig};
 
 use crate::codegen::generate_process;
@@ -25,6 +26,30 @@ pub fn build_system(workload: Workload, nproc: usize, seed: u64) -> System {
     builder.build()
 }
 
+/// The seed for replica shard `shard` of workload index `workload_index`
+/// in a composite rooted at `root_seed`.
+///
+/// Seeds are split with [`SeedStream`] (SplitMix64), one nested stream per
+/// grid axis, so every `(workload, shard)` cell gets a decorrelated seed
+/// that depends only on its coordinates — never on how many shards ran,
+/// in what order, or on which thread.
+pub fn shard_seed(root_seed: u64, workload_index: u64, shard: u64) -> u64 {
+    SeedStream::new(root_seed)
+        .stream(workload_index)
+        .stream(shard)
+        .seed()
+}
+
+/// Build the system for one `(workload, shard)` replica of a composite
+/// rooted at `root_seed`, with the standard process count.
+pub fn build_shard(workload: Workload, workload_index: u64, shard: u64, root_seed: u64) -> System {
+    build_system(
+        workload,
+        PROCESSES_PER_WORKLOAD,
+        shard_seed(root_seed, workload_index, shard),
+    )
+}
+
 /// Run one workload: warm up, then measure `instructions`.
 pub fn run_workload(workload: Workload, instructions: u64, seed: u64) -> Measurement {
     let mut system = build_system(workload, PROCESSES_PER_WORKLOAD, seed);
@@ -32,13 +57,13 @@ pub fn run_workload(workload: Workload, instructions: u64, seed: u64) -> Measure
 }
 
 /// The paper's composite: the sum of all five workloads' histograms (and
-/// counters). `instructions` is the per-workload measurement length.
+/// counters). `instructions` is the per-workload measurement length;
+/// workload `i` runs with [`shard_seed`]`(seed, i, 0)`, matching shard 0
+/// of the parallel engine in `vax-bench`.
 pub fn composite_measurement(instructions: u64, seed: u64) -> Measurement {
-    let mut iter = Workload::ALL.iter();
-    let first = *iter.next().unwrap();
-    let mut composite = run_workload(first, instructions, seed);
-    for (i, &w) in iter.enumerate() {
-        let m = run_workload(w, instructions, seed.wrapping_add(i as u64 + 1));
+    let mut composite = Measurement::default();
+    for (i, &w) in Workload::ALL.iter().enumerate() {
+        let m = run_workload(w, instructions, shard_seed(seed, i as u64, 0));
         composite.merge(&m);
     }
     composite

@@ -126,6 +126,7 @@ fn committed_fixture_matches_a_fresh_run() {
         instructions: opts.instructions,
         warmup: opts.instructions / 10,
         interval_cycles: opts.interval_cycles,
+        shards: opts.shards,
         config: "default VAX-11/780 configuration, 5-workload composite".to_string(),
     };
     let dir = scratch_dir("fresh");

@@ -1,0 +1,152 @@
+//! Property tests for the merge laws behind the deterministic parallel
+//! reduction (see `docs/PARALLELISM.md`).
+//!
+//! The sharded engine's guarantee — `--jobs N` is byte-identical to
+//! `--jobs 1` — rests on every result block being a commutative monoid
+//! under `Mergeable::merge_from` with `Default::default()` as identity.
+//! These tests exercise the laws on randomized instances of all four
+//! blocks: [`Histogram`], [`CpuStats`], [`MemStats`], and [`Measurement`].
+
+use rand::prelude::{Rng, SeedableRng, StdRng};
+use upc_monitor::{Histogram, MicroPc, Plane};
+use vax780::{merge_ordered, Measurement, Mergeable};
+use vax_cpu::CpuStats;
+use vax_mem::MemStats;
+
+fn rand_hist(rng: &mut StdRng) -> Histogram {
+    // Real board geometry: Default is 16 K buckets and merge requires
+    // matching sizes, so the identity law only makes sense at full size.
+    let mut h = Histogram::default();
+    h.start();
+    for _ in 0..rng.gen_range(1usize..40) {
+        let upc = MicroPc(rng.gen_range(0u16..16_384));
+        let plane = if rng.gen_bool(0.7) {
+            Plane::Normal
+        } else {
+            Plane::Stalled
+        };
+        h.record_n(upc, plane, rng.gen_range(1u64..1000));
+    }
+    h.stop();
+    h
+}
+
+fn rand_cpu(rng: &mut StdRng) -> CpuStats {
+    let mut c = CpuStats::new();
+    c.instructions = rng.gen_range(0u64..1 << 40);
+    c.istream_bytes = rng.gen_range(0u64..1 << 40);
+    c.hw_interrupts = rng.gen_range(0u64..1 << 20);
+    c.sw_interrupts = rng.gen_range(0u64..1 << 20);
+    c.sw_interrupt_requests = rng.gen_range(0u64..1 << 20);
+    c.context_switches = rng.gen_range(0u64..1 << 20);
+    c.exceptions = rng.gen_range(0u64..1 << 20);
+    c.spec1_count = rng.gen_range(0u64..1 << 30);
+    c.spec26_count = rng.gen_range(0u64..1 << 30);
+    c.spec1_quad_repeats = rng.gen_range(0u64..1 << 20);
+    c.spec26_quad_repeats = rng.gen_range(0u64..1 << 20);
+    c.branch_disps = rng.gen_range(0u64..1 << 30);
+    for _ in 0..rng.gen_range(1usize..20) {
+        let i = rng.gen_range(0usize..c.opcode_counts.len());
+        c.opcode_counts[i] = rng.gen_range(0u64..1 << 30);
+    }
+    for i in 0..c.branch_executed.len() {
+        c.branch_executed[i] = rng.gen_range(0u64..1 << 30);
+        c.branch_taken[i] = rng.gen_range(0u64..=c.branch_executed[i]);
+    }
+    c
+}
+
+fn rand_mem(rng: &mut StdRng) -> MemStats {
+    MemStats {
+        d_reads: rng.gen_range(0u64..1 << 40),
+        d_read_misses: rng.gen_range(0u64..1 << 30),
+        d_writes: rng.gen_range(0u64..1 << 40),
+        d_write_hits: rng.gen_range(0u64..1 << 30),
+        i_reads: rng.gen_range(0u64..1 << 40),
+        i_read_misses: rng.gen_range(0u64..1 << 30),
+        tb_miss_d: rng.gen_range(0u64..1 << 25),
+        tb_miss_i: rng.gen_range(0u64..1 << 25),
+        unaligned_refs: rng.gen_range(0u64..1 << 25),
+        pte_reads: rng.gen_range(0u64..1 << 25),
+        pte_read_misses: rng.gen_range(0u64..1 << 20),
+        read_stall_cycles: rng.gen_range(0u64..1 << 40),
+        write_stall_cycles: rng.gen_range(0u64..1 << 40),
+    }
+}
+
+fn rand_meas(rng: &mut StdRng) -> Measurement {
+    Measurement {
+        hist: rand_hist(rng),
+        cpu_stats: rand_cpu(rng),
+        mem_stats: rand_mem(rng),
+        cycles: rng.gen_range(0u64..1 << 45),
+    }
+}
+
+/// Fisher–Yates with the workspace RNG (no external shuffle helper).
+fn shuffled<T: Clone>(rng: &mut StdRng, items: &[T]) -> Vec<T> {
+    let mut v: Vec<T> = items.to_vec();
+    for i in (1..v.len()).rev() {
+        let j = rng.gen_range(0usize..=i);
+        v.swap(i, j);
+    }
+    v
+}
+
+fn check_laws<T, F>(seed: u64, cases: usize, mut gen: F)
+where
+    T: Mergeable + Clone + PartialEq + std::fmt::Debug,
+    F: FnMut(&mut StdRng) -> T,
+{
+    let mut rng = StdRng::seed_from_u64(seed);
+    for case in 0..cases {
+        let a = gen(&mut rng);
+        let b = gen(&mut rng);
+        let c = gen(&mut rng);
+
+        // Identity, both sides.
+        let mut left = T::default();
+        left.merge_from(&a);
+        assert_eq!(left, a, "case {case}: default ⊕ a ≠ a");
+        let mut right = a.clone();
+        right.merge_from(&T::default());
+        assert_eq!(right, a, "case {case}: a ⊕ default ≠ a");
+
+        // Associativity: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+        let mut ab = a.clone();
+        ab.merge_from(&b);
+        ab.merge_from(&c);
+        let mut bc = b.clone();
+        bc.merge_from(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge_from(&bc);
+        assert_eq!(ab, a_bc, "case {case}: associativity violated");
+
+        // Commutativity, as the engine relies on it: a shuffled
+        // (completion-order) reduction equals the index-order reduction.
+        let parts = vec![a, b, c];
+        let in_order: T = merge_ordered(&parts);
+        let scrambled: T = merge_ordered(shuffled(&mut rng, &parts));
+        assert_eq!(in_order, scrambled, "case {case}: order changed the sum");
+    }
+}
+
+#[test]
+fn histogram_merge_laws() {
+    check_laws(0x780_0001, 8, rand_hist);
+}
+
+#[test]
+fn cpu_stats_merge_laws() {
+    check_laws(0x780_0002, 50, rand_cpu);
+}
+
+#[test]
+fn mem_stats_merge_laws() {
+    check_laws(0x780_0003, 50, rand_mem);
+}
+
+#[test]
+fn measurement_merge_laws() {
+    check_laws(0x780_0004, 8, rand_meas);
+}
