@@ -85,7 +85,7 @@ pub fn decode(bytes: &[u8]) -> Result<Instruction, DecodeError> {
     let mut cur = Cursor { bytes, pos: 0 };
     let op_byte = cur.u8()?;
     let opcode = Opcode::from_byte(op_byte).ok_or(DecodeError::UnknownOpcode(op_byte))?;
-    let mut specifiers = Vec::with_capacity(opcode.specifier_count());
+    let mut specifiers = crate::speclist::SpecList::new();
     let mut branch_disp = None;
     for op in opcode.operands() {
         match op {

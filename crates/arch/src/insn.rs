@@ -2,16 +2,20 @@
 
 use crate::datatype::{DataType, OperandKind};
 use crate::opcode::Opcode;
-use crate::specifier::Specifier;
+use crate::speclist::SpecList;
 use std::fmt;
 
 /// A fully decoded VAX instruction.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Specifiers live inline ([`SpecList`]), so an `Instruction` is `Copy`:
+/// decoding allocates nothing and a cached decode can be handed out by
+/// value.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Instruction {
     /// The opcode.
     pub opcode: Opcode,
     /// Decoded operand specifiers (branch displacements excluded).
-    pub specifiers: Vec<Specifier>,
+    pub specifiers: SpecList,
     /// Embedded branch displacement, sign-extended, if the opcode has one.
     pub branch_disp: Option<i32>,
     /// Total encoded length in bytes.
@@ -25,7 +29,8 @@ impl Instruction {
     /// Panics if the specifier count does not match the opcode signature, or
     /// if a branch displacement is supplied for/omitted from an opcode that
     /// lacks/requires one.
-    pub fn new(opcode: Opcode, specifiers: Vec<Specifier>, branch_disp: Option<i32>) -> Self {
+    pub fn new(opcode: Opcode, specifiers: impl Into<SpecList>, branch_disp: Option<i32>) -> Self {
+        let specifiers = specifiers.into();
         assert_eq!(
             specifiers.len(),
             opcode.specifier_count(),
@@ -99,6 +104,7 @@ impl fmt::Display for Instruction {
 mod tests {
     use super::*;
     use crate::regs::Reg;
+    use crate::specifier::Specifier;
 
     #[test]
     fn movl_len() {

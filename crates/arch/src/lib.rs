@@ -38,6 +38,7 @@ pub mod opcode;
 pub mod psl;
 pub mod regs;
 pub mod specifier;
+pub mod speclist;
 
 pub use datatype::{AccessType, DataType, OperandKind};
 pub use decode::{decode, DecodeError};
@@ -49,3 +50,4 @@ pub use opcode::{Opcode, OpcodeInfo};
 pub use psl::Psl;
 pub use regs::Reg;
 pub use specifier::Specifier;
+pub use speclist::{SpecList, MAX_SPECIFIERS};

@@ -68,6 +68,15 @@ impl AddressingMode {
         AddressingMode::PcRelativeDeferred,
     ];
 
+    /// Dense index of this mode, equal to its position in
+    /// [`AddressingMode::ALL`] (the enum declares modes in `ALL` order, which
+    /// `mode_index_matches_all` pins down). Lets per-mode tables be indexed
+    /// directly instead of searched.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
     /// True if evaluating this specifier references memory for the operand
     /// datum itself (given a Read/Write/Modify access).
     pub const fn is_memory(self) -> bool {
@@ -306,5 +315,12 @@ mod tests {
         assert!(AddressingMode::ByteDispDeferred.is_deferred());
         assert!(AddressingMode::Absolute.is_deferred());
         assert!(!AddressingMode::ByteDisp.is_deferred());
+    }
+
+    #[test]
+    fn mode_index_matches_all() {
+        for (i, &mode) in AddressingMode::ALL.iter().enumerate() {
+            assert_eq!(mode.index(), i, "{mode:?} out of ALL order");
+        }
     }
 }

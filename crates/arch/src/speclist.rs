@@ -1,0 +1,166 @@
+//! Inline specifier storage for decoded instructions.
+//!
+//! A VAX instruction carries at most six operand specifiers
+//! ([`crate::Opcode::specifier_count`] is bounded by the architecture), so a
+//! decoded instruction can hold them in a fixed inline array instead of a
+//! heap `Vec`. This makes [`crate::Instruction`] `Copy` and the decoder
+//! allocation-free — the property the simulator's hot step loop (and its
+//! decoded-instruction cache) relies on.
+
+use crate::mode::AddressingMode;
+use crate::regs::Reg;
+use crate::specifier::Specifier;
+use std::fmt;
+use std::ops::Deref;
+
+/// Maximum operand specifiers in one VAX instruction (ADDP6 et al.).
+pub const MAX_SPECIFIERS: usize = 6;
+
+const EMPTY: Specifier = Specifier {
+    mode: AddressingMode::Literal,
+    reg: Reg::new(0),
+    value: 0,
+    index: None,
+};
+
+/// A fixed-capacity inline list of operand specifiers.
+///
+/// Dereferences to `[Specifier]`, so indexing, iteration, and `len()` work
+/// exactly as they did when [`crate::Instruction::specifiers`] was a `Vec`.
+#[derive(Clone, Copy)]
+pub struct SpecList {
+    items: [Specifier; MAX_SPECIFIERS],
+    len: u8,
+}
+
+impl SpecList {
+    /// An empty list.
+    pub const fn new() -> SpecList {
+        SpecList {
+            items: [EMPTY; MAX_SPECIFIERS],
+            len: 0,
+        }
+    }
+
+    /// Append a specifier.
+    ///
+    /// # Panics
+    /// Panics if the list already holds [`MAX_SPECIFIERS`] entries.
+    #[inline]
+    pub fn push(&mut self, spec: Specifier) {
+        assert!(
+            (self.len as usize) < MAX_SPECIFIERS,
+            "more than {MAX_SPECIFIERS} specifiers in one instruction"
+        );
+        self.items[self.len as usize] = spec;
+        self.len += 1;
+    }
+
+    /// The specifiers as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[Specifier] {
+        &self.items[..self.len as usize]
+    }
+}
+
+impl Default for SpecList {
+    fn default() -> SpecList {
+        SpecList::new()
+    }
+}
+
+impl Deref for SpecList {
+    type Target = [Specifier];
+
+    #[inline]
+    fn deref(&self) -> &[Specifier] {
+        self.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a SpecList {
+    type Item = &'a Specifier;
+    type IntoIter = std::slice::Iter<'a, Specifier>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl PartialEq for SpecList {
+    fn eq(&self, other: &SpecList) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for SpecList {}
+
+impl fmt::Debug for SpecList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl From<&[Specifier]> for SpecList {
+    fn from(specs: &[Specifier]) -> SpecList {
+        let mut list = SpecList::new();
+        for &s in specs {
+            list.push(s);
+        }
+        list
+    }
+}
+
+impl From<Vec<Specifier>> for SpecList {
+    fn from(specs: Vec<Specifier>) -> SpecList {
+        SpecList::from(specs.as_slice())
+    }
+}
+
+impl<const N: usize> From<[Specifier; N]> for SpecList {
+    fn from(specs: [Specifier; N]) -> SpecList {
+        SpecList::from(specs.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_index_iterate() {
+        let mut l = SpecList::new();
+        assert!(l.is_empty());
+        l.push(Specifier::literal(5));
+        l.push(Specifier::register(Reg::new(3)));
+        assert_eq!(l.len(), 2);
+        assert_eq!(l[1], Specifier::register(Reg::new(3)));
+        assert_eq!(l.iter().count(), 2);
+        let same = SpecList::from(vec![
+            Specifier::literal(5),
+            Specifier::register(Reg::new(3)),
+        ]);
+        assert_eq!(l, same);
+    }
+
+    #[test]
+    fn equality_ignores_unused_slots() {
+        let mut a = SpecList::new();
+        a.push(Specifier::literal(1));
+        a.push(Specifier::literal(2));
+        // Different construction history, same visible contents.
+        let b = SpecList::from([Specifier::literal(1), Specifier::literal(2)]);
+        assert_eq!(a, b);
+        a.push(Specifier::literal(3));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "more than 6 specifiers")]
+    fn overflow_panics() {
+        let mut l = SpecList::new();
+        for _ in 0..7 {
+            l.push(Specifier::literal(0));
+        }
+    }
+}

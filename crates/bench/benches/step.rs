@@ -1,0 +1,86 @@
+//! Raw `Cpu::step` throughput and decode-cache path benches.
+//!
+//! `simulator.rs` times whole-system runs through the run loop; this bench
+//! isolates the per-instruction step cost the decode cache optimizes, and
+//! times the cache's hit and miss paths directly so a regression in either
+//! shows up without being averaged into full-run numbers.
+
+use vax_bench::harness::Bench;
+use vax_cpu::icache::DECODE_CACHE_SLOTS;
+use vax_cpu::{CpuConfig, DecodeCache};
+use vax_mem::{PageTables, PhysAddr, VirtAddr};
+use vax_workload::{build_system, Workload};
+
+/// Steps per timed iteration — large enough to amortize the harness, small
+/// enough that a few iterations still fit a quick run.
+const STEPS: u64 = 10_000;
+
+fn bench_step(b: &mut Bench) {
+    // Cached: the shipping configuration.
+    let mut sys = build_system(Workload::TimesharingResearch, 3, 7);
+    sys.run_instructions(20_000); // warm TB, cache, and decode cache
+    b.bench_n("step/decode_cache_on", 20, || sys.run_instructions(STEPS));
+    let stats = sys.cpu.decode_cache_stats();
+    assert!(stats.hits > 0, "warm run should hit the decode cache");
+
+    // Uncached: the test-oracle configuration; every step re-decodes.
+    let mut sys = build_system(Workload::TimesharingResearch, 3, 7);
+    sys.cpu.config.decode_cache = false;
+    sys.run_instructions(20_000);
+    b.bench_n("step/decode_cache_off", 20, || sys.run_instructions(STEPS));
+    assert_eq!(sys.cpu.decode_cache_stats().hits, 0);
+}
+
+fn bench_icache_paths(b: &mut Bench) {
+    let insn = vax_arch::decode(&[0xD0, 0x51, 0x52]).expect("movl r1, r2");
+    let tables = PageTables {
+        sbr: PhysAddr(0x10000),
+        slr: 64,
+        p0br: VirtAddr(0x8000_0000),
+        p0lr: 16,
+        p1br: VirtAddr(0x8000_0200),
+        p1lr: 16,
+    };
+
+    // Hit path: the same PCs over and over, as a loop body would.
+    let mut cache = DecodeCache::new();
+    for pc in 0..64u32 {
+        cache.lookup(0x200 + pc * 4, 0, &tables);
+        cache.insert(0x200 + pc * 4, insn);
+    }
+    let mut pc = 0u32;
+    b.bench("icache/hit", || {
+        pc = (pc + 1) & 63;
+        cache.lookup(0x200 + pc * 4, 0, &tables)
+    });
+
+    // Miss + insert path: a PC stream wider than the cache, so every
+    // lookup misses and refills (the cold-loop / conflict case).
+    let mut cache = DecodeCache::new();
+    let mut va = 0x200u32;
+    b.bench("icache/miss_insert", || {
+        va = va.wrapping_add(DECODE_CACHE_SLOTS as u32 + 4);
+        let out = cache.lookup(va, 0, &tables);
+        cache.insert(va, insn);
+        out
+    });
+}
+
+fn bench_config_sanity() {
+    // The shipping config has the cache on; keep the bench honest if that
+    // ever changes. Read through a runtime value so the check survives the
+    // constant becoming configurable.
+    let config = CpuConfig::VAX_780;
+    assert!(
+        config.decode_cache,
+        "VAX_780 should enable the decode cache"
+    );
+}
+
+fn main() {
+    let mut b = Bench::from_args();
+    bench_config_sanity();
+    bench_step(&mut b);
+    bench_icache_paths(&mut b);
+    b.finish();
+}

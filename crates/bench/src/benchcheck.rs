@@ -1,0 +1,179 @@
+//! `reproduce bench-check`: the CI performance-smoke gate.
+//!
+//! Compares a fresh `BENCH_<ts>.json` self-metering report (see
+//! [`crate::meter`]) against a checked-in soft baseline and fails when
+//! simulated-instruction throughput regressed by more than the allowed
+//! fraction. The tolerance is deliberately wide (default 30%): CI runners
+//! are noisy and the gate exists to catch order-of-magnitude mistakes — an
+//! accidentally disabled decode cache, a debug build, an O(n²) slip — not
+//! single-digit drift.
+
+use std::path::{Path, PathBuf};
+
+use vax_analysis::Json;
+
+/// Options for `reproduce bench-check`.
+#[derive(Debug, Clone)]
+pub struct BenchCheckOptions {
+    /// The committed baseline `BENCH_*.json` (a file).
+    pub baseline: PathBuf,
+    /// The fresh report: a `BENCH_*.json` file, or a directory holding one
+    /// or more (the newest by timestamped name is used).
+    pub candidate: PathBuf,
+    /// Allowed fractional throughput regression (0.30 = fail below 70% of
+    /// the baseline's instructions/s).
+    pub max_regression: f64,
+}
+
+/// Read `instructions_per_sec` out of one report.
+fn load_ips(path: &Path) -> Result<f64, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let json = Json::parse(&text).map_err(|e| format!("cannot parse {}: {e}", path.display()))?;
+    json.get("instructions_per_sec")
+        .and_then(Json::as_f64)
+        .filter(|v| v.is_finite() && *v > 0.0)
+        .ok_or_else(|| {
+            format!(
+                "{}: missing or non-positive 'instructions_per_sec'",
+                path.display()
+            )
+        })
+}
+
+/// Resolve `candidate` to a concrete report file: the path itself, or the
+/// newest `BENCH_*.json` inside it (timestamped names sort by age).
+fn resolve_candidate(path: &Path) -> Result<PathBuf, String> {
+    if path.is_file() {
+        return Ok(path.to_path_buf());
+    }
+    let mut reports: Vec<PathBuf> = std::fs::read_dir(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?
+        .filter_map(|ent| ent.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    reports.sort();
+    reports
+        .pop()
+        .ok_or_else(|| format!("no BENCH_*.json in {}", path.display()))
+}
+
+/// Run the check. Returns a human-readable verdict line on success and an
+/// explanation on failure (regression beyond tolerance, or unreadable
+/// inputs).
+///
+/// # Errors
+/// Returns a message naming the offending file or the measured regression;
+/// the caller should print it and exit nonzero.
+pub fn run_bench_check(opts: &BenchCheckOptions) -> Result<String, String> {
+    let baseline_ips = load_ips(&opts.baseline)?;
+    let candidate_path = resolve_candidate(&opts.candidate)?;
+    let candidate_ips = load_ips(&candidate_path)?;
+
+    let floor = baseline_ips * (1.0 - opts.max_regression);
+    let ratio = candidate_ips / baseline_ips;
+    let verdict = format!(
+        "bench-check: {:.0} instructions/s vs baseline {:.0} ({}{:.1}%), floor {:.0}",
+        candidate_ips,
+        baseline_ips,
+        if ratio >= 1.0 { "+" } else { "" },
+        (ratio - 1.0) * 100.0,
+        floor,
+    );
+    if candidate_ips < floor {
+        return Err(format!(
+            "{verdict}\nthroughput regressed more than {:.0}% below the baseline \
+             ({} vs {})",
+            opts.max_regression * 100.0,
+            candidate_path.display(),
+            opts.baseline.display(),
+        ));
+    }
+    Ok(verdict)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(dir: &Path, name: &str, ips: f64) -> PathBuf {
+        let path = dir.join(name);
+        std::fs::write(
+            &path,
+            format!("{{\"format_version\": 1, \"instructions_per_sec\": {ips}}}"),
+        )
+        .unwrap();
+        path
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("benchcheck-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn passes_within_tolerance_and_fails_beyond() {
+        let dir = tmpdir("tol");
+        let baseline = report(&dir, "BENCH_1.json", 1_000_000.0);
+        let ok = report(&dir, "ok.json", 750_000.0);
+        let bad = report(&dir, "bad.json", 650_000.0);
+        let check = |candidate: &Path| {
+            run_bench_check(&BenchCheckOptions {
+                baseline: baseline.clone(),
+                candidate: candidate.to_path_buf(),
+                max_regression: 0.30,
+            })
+        };
+        assert!(check(&ok).is_ok(), "25% down is within a 30% tolerance");
+        let err = check(&bad).unwrap_err();
+        assert!(err.contains("regressed"), "{err}");
+    }
+
+    #[test]
+    fn directory_candidate_uses_newest_report() {
+        let dir = tmpdir("dir");
+        let baseline = report(&dir, "base.json", 1_000_000.0);
+        let sub = dir.join("run");
+        std::fs::create_dir_all(&sub).unwrap();
+        report(&sub, "BENCH_100.json", 100_000.0); // stale, would fail
+        report(&sub, "BENCH_200.json", 990_000.0); // newest, passes
+        let out = run_bench_check(&BenchCheckOptions {
+            baseline,
+            candidate: sub,
+            max_regression: 0.30,
+        })
+        .unwrap();
+        assert!(out.contains("990000"), "{out}");
+    }
+
+    #[test]
+    fn missing_inputs_are_reported() {
+        let dir = tmpdir("missing");
+        let baseline = report(&dir, "base.json", 1_000_000.0);
+        let empty = dir.join("empty");
+        std::fs::create_dir_all(&empty).unwrap();
+        let err = run_bench_check(&BenchCheckOptions {
+            baseline: baseline.clone(),
+            candidate: empty,
+            max_regression: 0.30,
+        })
+        .unwrap_err();
+        assert!(err.contains("no BENCH_"), "{err}");
+
+        std::fs::write(dir.join("garbage.json"), "not json").unwrap();
+        let err = run_bench_check(&BenchCheckOptions {
+            baseline,
+            candidate: dir.join("garbage.json"),
+            max_regression: 0.30,
+        })
+        .unwrap_err();
+        assert!(err.contains("garbage.json"), "{err}");
+    }
+}

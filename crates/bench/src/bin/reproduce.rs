@@ -7,6 +7,7 @@
 //!           [--profile] [--top N] [--flight-recorder K] [--quiet|--verbose]
 //!           [--bench-out DIR]
 //! reproduce diff BASELINE_DIR CANDIDATE_DIR [--abs-tol X] [--rel-tol X]
+//! reproduce bench-check BASELINE_JSON CANDIDATE_JSON_OR_DIR [--max-regression FRAC]
 //! ```
 //!
 //! `WHICH` ∈ {fig1, table1..table9, events, all} (default `all`).
@@ -28,6 +29,11 @@
 //!
 //! `diff` compares two exported run directories metric by metric and exits
 //! nonzero on out-of-tolerance drift — the CI regression gate.
+//!
+//! `bench-check` compares a fresh `BENCH_<ts>.json` self-metering report
+//! against a committed baseline and exits nonzero when host throughput
+//! (simulated instructions per host second) regressed by more than the
+//! allowed fraction (default 30%) — the CI performance-smoke gate.
 
 use std::path::PathBuf;
 
@@ -67,6 +73,16 @@ fn main() {
     };
     let code = match cmd {
         Command::Diff(d) => run_diff(&d),
+        Command::BenchCheck(o) => match vax_bench::benchcheck::run_bench_check(&o) {
+            Ok(verdict) => {
+                println!("{verdict}");
+                0
+            }
+            Err(msg) => {
+                eprintln!("reproduce bench-check: {msg}");
+                1
+            }
+        },
         Command::Run(opts) => run(&opts),
     };
     std::process::exit(code);

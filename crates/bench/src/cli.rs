@@ -5,8 +5,10 @@
 //! message (and a nonzero exit in the binary), never silently defaulted —
 //! a bad flag would otherwise waste a five-workload measurement run.
 //!
-//! Two commands: the default measurement run, and `reproduce diff A B`
-//! which compares two exported run directories for CI gating.
+//! Three commands: the default measurement run, `reproduce diff A B`
+//! which compares two exported run directories for CI gating, and
+//! `reproduce bench-check BASELINE CANDIDATE` which gates on host
+//! throughput regressions.
 
 use std::path::PathBuf;
 
@@ -102,13 +104,16 @@ pub struct DiffOptions {
     pub rel_tol: f64,
 }
 
-/// A parsed invocation: the measurement run or the run-directory diff.
+/// A parsed invocation: the measurement run, the run-directory diff, or
+/// the host-throughput gate.
 #[derive(Debug, Clone)]
 pub enum Command {
     /// The default five-workload measurement run.
     Run(Options),
     /// `reproduce diff BASELINE CANDIDATE`.
     Diff(DiffOptions),
+    /// `reproduce bench-check BASELINE CANDIDATE`.
+    BenchCheck(crate::benchcheck::BenchCheckOptions),
 }
 
 /// One-line usage string.
@@ -118,7 +123,9 @@ pub fn usage() -> String {
      [--format text|json] [--out DIR] [--interval-cycles N] \
      [--profile] [--top N] [--flight-recorder K] [--quiet|--verbose] \
      [--bench-out DIR]\n\
-     \x20      reproduce diff BASELINE_DIR CANDIDATE_DIR [--abs-tol X] [--rel-tol X]"
+     \x20      reproduce diff BASELINE_DIR CANDIDATE_DIR [--abs-tol X] [--rel-tol X]\n\
+     \x20      reproduce bench-check BASELINE_JSON CANDIDATE_JSON_OR_DIR \
+     [--max-regression FRAC]"
         .to_string()
 }
 
@@ -148,10 +155,57 @@ fn parse_f64(flag: &str, value: Option<&String>) -> Result<f64, String> {
 /// Returns a message describing the first invalid flag or value; the caller
 /// should print it and exit nonzero.
 pub fn parse_command(args: &[String]) -> Result<Command, String> {
-    if args.first().map(String::as_str) == Some("diff") {
-        return parse_diff_args(&args[1..]).map(Command::Diff);
+    match args.first().map(String::as_str) {
+        Some("diff") => parse_diff_args(&args[1..]).map(Command::Diff),
+        Some("bench-check") => parse_bench_check_args(&args[1..]).map(Command::BenchCheck),
+        _ => parse_args(args).map(Command::Run),
     }
-    parse_args(args).map(Command::Run)
+}
+
+/// Parse `reproduce bench-check` arguments (after the subcommand word).
+pub fn parse_bench_check_args(
+    args: &[String],
+) -> Result<crate::benchcheck::BenchCheckOptions, String> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut max_regression = 0.30;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--max-regression" => {
+                i += 1;
+                max_regression = parse_f64("--max-regression", args.get(i))?;
+                if max_regression >= 1.0 {
+                    return Err(format!(
+                        "invalid value for --max-regression: '{max_regression}' \
+                         (expected a fraction below 1.0)"
+                    ));
+                }
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!(
+                    "unknown argument '{flag}' for bench-check\n{}",
+                    usage()
+                ))
+            }
+            path => paths.push(PathBuf::from(path)),
+        }
+        i += 1;
+    }
+    if paths.len() != 2 {
+        return Err(format!(
+            "bench-check takes a baseline report and a candidate report or \
+             directory (got {} paths)\n{}",
+            paths.len(),
+            usage()
+        ));
+    }
+    let candidate = paths.pop().unwrap();
+    let baseline = paths.pop().unwrap();
+    Ok(crate::benchcheck::BenchCheckOptions {
+        baseline,
+        candidate,
+        max_regression,
+    })
 }
 
 /// Parse `reproduce diff` arguments (after the subcommand word).
@@ -454,12 +508,45 @@ mod tests {
                 assert_eq!(d.abs_tol, 0.0);
                 assert_eq!(d.rel_tol, 0.01);
             }
-            Command::Run(_) => panic!("expected diff"),
+            _ => panic!("expected diff"),
         }
         match parse_cmd(&["--profile"]).unwrap() {
             Command::Run(o) => assert!(o.profile),
-            Command::Diff(_) => panic!("expected run"),
+            _ => panic!("expected run"),
         }
+    }
+
+    #[test]
+    fn bench_check_subcommand_parses() {
+        let cmd =
+            parse_cmd(&["bench-check", "base.json", "out", "--max-regression", "0.5"]).unwrap();
+        match cmd {
+            Command::BenchCheck(o) => {
+                assert_eq!(o.baseline, std::path::PathBuf::from("base.json"));
+                assert_eq!(o.candidate, std::path::PathBuf::from("out"));
+                assert_eq!(o.max_regression, 0.5);
+            }
+            _ => panic!("expected bench-check"),
+        }
+        match parse_cmd(&["bench-check", "a", "b"]).unwrap() {
+            Command::BenchCheck(o) => assert_eq!(o.max_regression, 0.30),
+            _ => panic!("expected bench-check"),
+        }
+    }
+
+    #[test]
+    fn bench_check_rejects_bad_shapes() {
+        assert!(parse_cmd(&["bench-check", "a"])
+            .unwrap_err()
+            .contains("baseline report"));
+        assert!(parse_cmd(&["bench-check", "a", "b", "c"])
+            .unwrap_err()
+            .contains("got 3"));
+        assert!(parse_cmd(&["bench-check", "a", "b", "--max-regression", "1.5"]).is_err());
+        assert!(parse_cmd(&["bench-check", "a", "b", "--max-regression", "-1"]).is_err());
+        assert!(parse_cmd(&["bench-check", "a", "b", "--frobnicate"])
+            .unwrap_err()
+            .contains("--frobnicate"));
     }
 
     #[test]

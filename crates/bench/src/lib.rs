@@ -4,6 +4,7 @@
 //! table and figure of Emer & Clark (ISCA 1984). See `src/bin/reproduce.rs`
 //! and the Criterion benches under `benches/`.
 
+pub mod benchcheck;
 pub mod cli;
 pub mod diffcmd;
 pub mod harness;

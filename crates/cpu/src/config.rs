@@ -27,6 +27,11 @@ pub struct CpuConfig {
     /// Overhead compute cycles in the TB-miss service routine (the paper's
     /// 21.6-cycle average is this, plus PTE reads and their stalls).
     pub tb_miss_overhead: u32,
+    /// Enable the host-side decoded-instruction cache
+    /// ([`crate::icache::DecodeCache`]). Fetch/decode is untimed, so this
+    /// changes no simulated behaviour — only wall-clock speed. Off is kept
+    /// as a test oracle for the equivalence property.
+    pub decode_cache: bool,
 }
 
 impl CpuConfig {
@@ -38,6 +43,7 @@ impl CpuConfig {
         patch_interval: Some(133),
         fusion: true,
         tb_miss_overhead: 18,
+        decode_cache: true,
     };
 }
 

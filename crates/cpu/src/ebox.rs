@@ -27,6 +27,7 @@ use crate::config::CpuConfig;
 use crate::exec::{self, Flow};
 use crate::flight::SharedFlightRecorder;
 use crate::ib::Ib;
+use crate::icache::{DecodeCache, DecodeCacheStats};
 use crate::ipr::Ipr;
 use crate::operand::{EvaldOperand, Loc, PendingWb};
 use crate::stats::CpuStats;
@@ -79,6 +80,12 @@ pub struct Cpu {
     next_timer: u64,
     next_patch: u64,
     decode_buf: Vec<u8>,
+    icache: DecodeCache,
+    /// Scratch for evaluated operands, reused across steps so the hot loop
+    /// allocates nothing. Taken/returned around each step.
+    operands_buf: Vec<EvaldOperand>,
+    /// Scratch for pending operand write-backs, reused across steps.
+    writebacks_buf: Vec<PendingWb>,
 }
 
 impl Cpu {
@@ -103,6 +110,9 @@ impl Cpu {
             next_timer: config.timer_interval.unwrap_or(u64::MAX),
             next_patch: config.patch_interval.unwrap_or(u64::MAX),
             decode_buf: Vec::with_capacity(64),
+            icache: DecodeCache::new(),
+            operands_buf: Vec::with_capacity(8),
+            writebacks_buf: Vec::with_capacity(8),
         }
     }
 
@@ -287,7 +297,7 @@ impl Cpu {
 
     /// Untimed virtual-memory read (semantics only; page-crossing safe).
     pub(crate) fn read_value(&self, va: VirtAddr, size: u32) -> u64 {
-        let in_page = PAGE_SIZE - va.offset();
+        let in_page = va.remaining_in(PAGE_SIZE);
         if size <= in_page {
             let pa = self.raw(va);
             self.mem.value_read(pa, size)
@@ -302,7 +312,7 @@ impl Cpu {
 
     /// Untimed virtual-memory write.
     pub(crate) fn write_value(&mut self, va: VirtAddr, size: u32, value: u64) {
-        let in_page = PAGE_SIZE - va.offset();
+        let in_page = va.remaining_in(PAGE_SIZE);
         if size <= in_page {
             let pa = self.raw(va);
             self.mem.value_write(pa, size, value);
@@ -380,15 +390,41 @@ impl Cpu {
         while self.decode_buf.len() < want {
             let a = va.wrapping_add(self.decode_buf.len() as u32);
             let pa = self.raw(VirtAddr(a));
-            let in_page = (PAGE_SIZE - VirtAddr(a).offset()) as usize;
+            let in_page = VirtAddr(a).remaining_in(PAGE_SIZE) as usize;
             let take = in_page.min(want - self.decode_buf.len());
             let slice = self.mem.phys().slice(pa, take);
             self.decode_buf.extend_from_slice(slice);
         }
     }
 
+    /// Decode the instruction at `pc` (untimed; I-stream timing is the IB's
+    /// job), consulting the decode cache when enabled.
+    ///
+    /// Cache validity: a hit is served only when (a) the memory system's
+    /// code epoch matches the epoch the cache was filled under — any store
+    /// overlapping watched code bytes, page remap, or direct physical
+    /// access bumps the epoch and empties the cache — and (b) the entry was
+    /// cached under the current page-table tuple (mapping context). TB
+    /// invalidates flush via [`Cpu::flush_decode_cache`]; LDPCTX needs no
+    /// cache action at all — the incoming context resolves to its own tag
+    /// space, and PTE rewrites are caught by the watched translation walk.
     fn fetch_decode(&mut self) -> Instruction {
         let pc = self.pc();
+        if !self.config.decode_cache {
+            return self.decode_at(pc);
+        }
+        let epoch = self.mem.code_epoch();
+        let tables = self.mem.tables;
+        if let Some(insn) = self.icache.lookup(pc, epoch, &tables) {
+            return insn;
+        }
+        let insn = self.decode_at(pc);
+        self.watch_code_range(pc, insn.len);
+        self.icache.insert(pc, insn);
+        insn
+    }
+
+    fn decode_at(&mut self, pc: u32) -> Instruction {
         self.decode_buf.clear();
         let mut want = 8;
         loop {
@@ -402,6 +438,39 @@ impl Cpu {
                 ),
             }
         }
+    }
+
+    /// Register the physical memory backing `[pc, pc + len)` with the
+    /// memory system's code watch, page by page (the range may cross pages
+    /// with non-contiguous frames). Translation goes through the *watched*
+    /// walk, so the PTEs mapping this code are watched too: remapping the
+    /// code by rewriting its PTEs invalidates just like rewriting its
+    /// bytes.
+    fn watch_code_range(&mut self, pc: u32, len: u32) {
+        let mut off = 0;
+        while off < len {
+            let va = VirtAddr(pc.wrapping_add(off));
+            let pa = self
+                .mem
+                .raw_translate_watched(va)
+                .unwrap_or_else(|e| self.fatal("unmapped", format!("unmapped address {va}: {e}")));
+            let chunk = va.remaining_in(PAGE_SIZE).min(len - off);
+            self.mem.watch_code(pa, chunk);
+            off += chunk;
+        }
+    }
+
+    /// Drop every cached decode, for every mapping context. Called on TB
+    /// invalidates (TBIA/TBIS): the guest announces PTE rewrites for the
+    /// running context this way, and the watch-epoch mechanism cannot see
+    /// stores to page-table memory.
+    pub fn flush_decode_cache(&mut self) {
+        self.icache.flush();
+    }
+
+    /// Host-side decode-cache counters (never part of simulated results).
+    pub fn decode_cache_stats(&self) -> DecodeCacheStats {
+        self.icache.stats()
     }
 
     // ---- interrupt dispatch ----
@@ -490,9 +559,13 @@ impl Cpu {
         self.consume_istream(1, self.cs.ird.at(1));
         self.c(self.cs.ird.at(0));
 
-        // Operand specifier processing.
-        let mut operands: Vec<EvaldOperand> = Vec::with_capacity(6);
-        let mut writebacks: Vec<PendingWb> = Vec::new();
+        // Operand specifier processing. The scratch vectors live on the Cpu
+        // and are taken/returned so steady-state steps never allocate
+        // (`exec::execute` needs `&mut self` alongside them).
+        let mut operands = std::mem::take(&mut self.operands_buf);
+        operands.clear();
+        let mut writebacks = std::mem::take(&mut self.writebacks_buf);
+        writebacks.clear();
         let mut spec_i = 0usize;
         let mut cursor = self.pc().wrapping_add(1);
         let mut first_spec_mode = None;
@@ -573,6 +646,10 @@ impl Cpu {
                 (Loc::None, _) => {}
             }
         }
+
+        // Return the scratch vectors for the next step.
+        self.operands_buf = operands;
+        self.writebacks_buf = writebacks;
 
         // Control flow resolution.
         let kind = insn.opcode.branch_kind();

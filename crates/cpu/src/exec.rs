@@ -1239,6 +1239,10 @@ fn exec_system(cpu: &mut Cpu, r: Region, insn: &Instruction, ops: &mut [EvaldOpe
             cpu.mem.tables.p1br = VirtAddr(p1br);
             cpu.mem.tables.p1lr = p1lr;
             cpu.mem.tb_mut().invalidate_process();
+            // The decode cache needs no invalidate here: its entries are
+            // keyed by the page-table tuple just loaded, and PTE rewrites
+            // made while this process slept are caught by the code watch
+            // (cached code's PTE bytes are watched).
             // Switch to the new process's stack, then push its PC/PSL so
             // the following REI resumes it with a balanced stack.
             let s1 = sp.wrapping_sub(4);
@@ -1273,6 +1277,14 @@ fn exec_system(cpu: &mut Cpu, r: Region, insn: &Instruction, ops: &mut [EvaldOpe
                 Some(IprNum::Tbis) => cpu.mem.tb_mut().invalidate_page(VirtAddr(v)),
                 Some(IprNum::Sisr) => cpu.iprs.sisr = v as u16,
                 None => {}
+            }
+            // A TB invalidate is how the guest announces PTE rewrites for
+            // the running context; cached decodes made under the old
+            // translations must go too. (Base/length register writes need
+            // nothing here: they change the page-table tuple, which is part
+            // of the decode cache's key.)
+            if matches!(IprNum::from_u32(which), Some(IprNum::Tbia | IprNum::Tbis)) {
+                cpu.flush_decode_cache();
             }
             Flow::Normal
         }

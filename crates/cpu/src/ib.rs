@@ -86,7 +86,7 @@ impl Ib {
                 Some(pa) => {
                     let lw_pa = PhysAddr(pa.0 & !3);
                     let fill = mem.ifetch_cycle(lw_pa, now);
-                    let lw_remaining = 4 - (self.vpc & 3);
+                    let lw_remaining = va.remaining_in(4);
                     let room = IB_BYTES - self.valid;
                     let take = lw_remaining.min(room);
                     self.pending = Some(PendingFill {

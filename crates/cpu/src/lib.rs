@@ -30,6 +30,7 @@ pub mod ebox;
 pub mod exec;
 pub mod flight;
 pub mod ib;
+pub mod icache;
 pub mod ipr;
 pub mod operand;
 pub mod stats;
@@ -38,6 +39,7 @@ pub mod store;
 pub use config::CpuConfig;
 pub use ebox::{Cpu, StepOutcome};
 pub use flight::{FlightEntry, FlightRecorder, SharedFlightRecorder};
+pub use icache::{DecodeCache, DecodeCacheStats};
 pub use ipr::Ipr;
 pub use stats::CpuStats;
 pub use store::ControlStore;

@@ -57,71 +57,69 @@ impl SpecFlavor {
 /// * for Write flavor with register mode, the single `Compute` is the
 ///   write-back move into the register;
 /// * quad-width data repeats the data-reference µop at the same address.
-fn spec_ops(mode: AddressingMode, flavor: SpecFlavor) -> Option<Vec<MicroOp>> {
+fn spec_ops(mode: AddressingMode, flavor: SpecFlavor) -> Option<&'static [MicroOp]> {
     use AddressingMode::*;
     use MicroOp::{Compute as C, Read as R, Write as W};
-    let ops = match (mode, flavor) {
-        (Literal, SpecFlavor::Read) => vec![C],
+    let ops: &'static [MicroOp] = match (mode, flavor) {
+        (Literal, SpecFlavor::Read) => &[C],
         (Literal, _) => return None,
 
-        (Register, SpecFlavor::Read) => vec![C],
-        (Register, SpecFlavor::Write) => vec![C],
-        (Register, SpecFlavor::Modify) => vec![C],
+        (Register, SpecFlavor::Read) => &[C],
+        (Register, SpecFlavor::Write) => &[C],
+        (Register, SpecFlavor::Modify) => &[C],
         // "address of a register" faults architecturally; bit-field bases in
         // register mode are handled as a register read.
-        (Register, SpecFlavor::Address) => vec![C],
+        (Register, SpecFlavor::Address) => &[C],
 
-        (RegisterDeferred, SpecFlavor::Read) => vec![R],
-        (RegisterDeferred, SpecFlavor::Write) => vec![W],
-        (RegisterDeferred, SpecFlavor::Modify) => vec![R, W],
-        (RegisterDeferred, SpecFlavor::Address) => vec![C],
+        (RegisterDeferred, SpecFlavor::Read) => &[R],
+        (RegisterDeferred, SpecFlavor::Write) => &[W],
+        (RegisterDeferred, SpecFlavor::Modify) => &[R, W],
+        (RegisterDeferred, SpecFlavor::Address) => &[C],
 
-        (Autoincrement, SpecFlavor::Read) => vec![R, C],
-        (Autoincrement, SpecFlavor::Write) => vec![C, W],
-        (Autoincrement, SpecFlavor::Modify) => vec![R, C, W],
-        (Autoincrement, SpecFlavor::Address) => vec![C, C],
+        (Autoincrement, SpecFlavor::Read) => &[R, C],
+        (Autoincrement, SpecFlavor::Write) => &[C, W],
+        (Autoincrement, SpecFlavor::Modify) => &[R, C, W],
+        (Autoincrement, SpecFlavor::Address) => &[C, C],
 
-        (Autodecrement, SpecFlavor::Read) => vec![C, R],
-        (Autodecrement, SpecFlavor::Write) => vec![C, W],
-        (Autodecrement, SpecFlavor::Modify) => vec![C, R, W],
-        (Autodecrement, SpecFlavor::Address) => vec![C, C],
+        (Autodecrement, SpecFlavor::Read) => &[C, R],
+        (Autodecrement, SpecFlavor::Write) => &[C, W],
+        (Autodecrement, SpecFlavor::Modify) => &[C, R, W],
+        (Autodecrement, SpecFlavor::Address) => &[C, C],
 
-        (AutoincrementDeferred, SpecFlavor::Read) => vec![R, C, R],
-        (AutoincrementDeferred, SpecFlavor::Write) => vec![R, C, W],
-        (AutoincrementDeferred, SpecFlavor::Modify) => vec![R, C, R, W],
-        (AutoincrementDeferred, SpecFlavor::Address) => vec![R, C],
+        (AutoincrementDeferred, SpecFlavor::Read) => &[R, C, R],
+        (AutoincrementDeferred, SpecFlavor::Write) => &[R, C, W],
+        (AutoincrementDeferred, SpecFlavor::Modify) => &[R, C, R, W],
+        (AutoincrementDeferred, SpecFlavor::Address) => &[R, C],
 
-        (ByteDisp | WordDisp | LongDisp, SpecFlavor::Read) => vec![C, R],
-        (ByteDisp | WordDisp | LongDisp, SpecFlavor::Write) => vec![C, W],
-        (ByteDisp | WordDisp | LongDisp, SpecFlavor::Modify) => vec![C, R, W],
-        (ByteDisp | WordDisp | LongDisp, SpecFlavor::Address) => vec![C],
+        (ByteDisp | WordDisp | LongDisp, SpecFlavor::Read) => &[C, R],
+        (ByteDisp | WordDisp | LongDisp, SpecFlavor::Write) => &[C, W],
+        (ByteDisp | WordDisp | LongDisp, SpecFlavor::Modify) => &[C, R, W],
+        (ByteDisp | WordDisp | LongDisp, SpecFlavor::Address) => &[C],
 
-        (ByteDispDeferred | WordDispDeferred | LongDispDeferred, SpecFlavor::Read) => vec![C, R, R],
-        (ByteDispDeferred | WordDispDeferred | LongDispDeferred, SpecFlavor::Write) => {
-            vec![C, R, W]
-        }
+        (ByteDispDeferred | WordDispDeferred | LongDispDeferred, SpecFlavor::Read) => &[C, R, R],
+        (ByteDispDeferred | WordDispDeferred | LongDispDeferred, SpecFlavor::Write) => &[C, R, W],
         (ByteDispDeferred | WordDispDeferred | LongDispDeferred, SpecFlavor::Modify) => {
-            vec![C, R, R, W]
+            &[C, R, R, W]
         }
-        (ByteDispDeferred | WordDispDeferred | LongDispDeferred, SpecFlavor::Address) => vec![C, R],
+        (ByteDispDeferred | WordDispDeferred | LongDispDeferred, SpecFlavor::Address) => &[C, R],
 
-        (Immediate, SpecFlavor::Read) => vec![C],
+        (Immediate, SpecFlavor::Read) => &[C],
         (Immediate, _) => return None,
 
-        (Absolute, SpecFlavor::Read) => vec![C, R],
-        (Absolute, SpecFlavor::Write) => vec![C, W],
-        (Absolute, SpecFlavor::Modify) => vec![C, R, W],
-        (Absolute, SpecFlavor::Address) => vec![C],
+        (Absolute, SpecFlavor::Read) => &[C, R],
+        (Absolute, SpecFlavor::Write) => &[C, W],
+        (Absolute, SpecFlavor::Modify) => &[C, R, W],
+        (Absolute, SpecFlavor::Address) => &[C],
 
-        (PcRelative, SpecFlavor::Read) => vec![C, R],
-        (PcRelative, SpecFlavor::Write) => vec![C, W],
-        (PcRelative, SpecFlavor::Modify) => vec![C, R, W],
-        (PcRelative, SpecFlavor::Address) => vec![C],
+        (PcRelative, SpecFlavor::Read) => &[C, R],
+        (PcRelative, SpecFlavor::Write) => &[C, W],
+        (PcRelative, SpecFlavor::Modify) => &[C, R, W],
+        (PcRelative, SpecFlavor::Address) => &[C],
 
-        (PcRelativeDeferred, SpecFlavor::Read) => vec![C, R, R],
-        (PcRelativeDeferred, SpecFlavor::Write) => vec![C, R, W],
-        (PcRelativeDeferred, SpecFlavor::Modify) => vec![C, R, R, W],
-        (PcRelativeDeferred, SpecFlavor::Address) => vec![C, R],
+        (PcRelativeDeferred, SpecFlavor::Read) => &[C, R, R],
+        (PcRelativeDeferred, SpecFlavor::Write) => &[C, R, W],
+        (PcRelativeDeferred, SpecFlavor::Modify) => &[C, R, R, W],
+        (PcRelativeDeferred, SpecFlavor::Address) => &[C, R],
     };
     Some(ops)
 }
@@ -140,11 +138,11 @@ pub struct SpecRegions {
 impl SpecRegions {
     fn build(map: &mut ControlStoreMap, activity: Activity, prefix: &str) -> SpecRegions {
         let mut regions: [[Option<Region>; 4]; 16] = Default::default();
-        for (mi, &mode) in AddressingMode::ALL.iter().enumerate() {
+        for &mode in AddressingMode::ALL.iter() {
             for flavor in SpecFlavor::ALL {
                 if let Some(ops) = spec_ops(mode, flavor) {
                     let name = format!("{prefix}.{:?}.{:?}", mode, flavor);
-                    regions[mi][flavor.index()] = Some(map.alloc(&name, activity, &ops));
+                    regions[mode.index()][flavor.index()] = Some(map.alloc(&name, activity, ops));
                 }
             }
         }
@@ -163,9 +161,9 @@ impl SpecRegions {
     ///
     /// # Panics
     /// Panics for impossible combinations (e.g. writing a literal).
+    #[inline]
     pub fn routine(&self, mode: AddressingMode, flavor: SpecFlavor) -> Region {
-        let mi = AddressingMode::ALL.iter().position(|m| *m == mode).unwrap();
-        self.regions[mi][flavor.index()]
+        self.regions[mode.index()][flavor.index()]
             .unwrap_or_else(|| panic!("no specifier routine for {mode:?} {flavor:?}"))
     }
 

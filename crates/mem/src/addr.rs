@@ -68,6 +68,17 @@ impl VirtAddr {
         VirtAddr(self.0.wrapping_add(n))
     }
 
+    /// Bytes from this address to the end of its containing `block`-aligned
+    /// unit: how much one reference can take before crossing into the next
+    /// block. `block` must be a power of two. The decoder's page-crossing
+    /// refill uses `remaining_in(PAGE_SIZE)`; the I-Fetch unit's longword
+    /// gulps use `remaining_in(4)` — one helper for both so the address
+    /// math cannot drift apart.
+    #[inline]
+    pub const fn remaining_in(self, block: u32) -> u32 {
+        block - (self.0 & (block - 1))
+    }
+
     /// True if an access of `size` bytes at this address crosses an aligned
     /// longword boundary (requiring two physical references on the 780).
     #[inline]

@@ -49,6 +49,11 @@ pub struct Cache {
     config: CacheConfig,
     sets: usize,
     block_shift: u32,
+    /// `Some((mask, shift))` when `sets` is a power of two: the set index
+    /// is `block & mask` and the tag `block >> shift`. Probes run several
+    /// times per simulated instruction, and a hardware divide per probe
+    /// (the general `%`/`÷` path) is measurable at that rate.
+    pow2: Option<(u32, u32)>,
     lines: Vec<Line>,
     victim: Vec<u8>,
 }
@@ -72,6 +77,9 @@ impl Cache {
             config,
             sets,
             block_shift: config.block_bytes.trailing_zeros(),
+            pow2: sets
+                .is_power_of_two()
+                .then(|| (sets as u32 - 1, sets.trailing_zeros())),
             lines: vec![Line::default(); sets * config.ways],
             victim: vec![0; sets],
         }
@@ -90,7 +98,10 @@ impl Cache {
     #[inline]
     fn set_and_tag(&self, pa: PhysAddr) -> (usize, u32) {
         let block = pa.0 >> self.block_shift;
-        ((block as usize) % self.sets, block / self.sets as u32)
+        match self.pow2 {
+            Some((mask, shift)) => ((block & mask) as usize, block >> shift),
+            None => ((block as usize) % self.sets, block / self.sets as u32),
+        }
     }
 
     /// Probe for a block. Does not change state.

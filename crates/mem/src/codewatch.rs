@@ -1,0 +1,179 @@
+//! Write-path invalidation hook for the CPU's decoded-instruction cache.
+//!
+//! The CPU caches `vax_arch::decode` results keyed by virtual PC; the cached
+//! decode is only valid while the underlying instruction bytes are
+//! unchanged. [`CodeWatch`] tracks, at 16-byte *granule* granularity, which
+//! physical memory holds bytes some cached decode depends on. Any store
+//! that lands on a watched granule — self-modifying code — bumps the
+//! *epoch*; the CPU compares epochs once per step and flushes its cache on
+//! mismatch. Page remaps ([`crate::MemorySystem::install_pte`]) and
+//! untracked direct physical access ([`crate::MemorySystem::phys_mut`])
+//! invalidate unconditionally, since the watch cannot know what they
+//! changed.
+//!
+//! Granularity matters: real memory images mix code and writable data on
+//! the same 512-byte page (counters next to handler code, literal pools),
+//! and a page-granular watch would treat every such store as self-modifying
+//! code. Sixteen-byte granules keep the bitmap small (128 Kbit for 8 MB)
+//! while cutting that false sharing to near zero.
+//!
+//! Invalidation is deliberately conservative (whole-cache flush on any
+//! overlap): correctness requires never serving a stale decode; flushing
+//! too much only costs re-decodes, which the cache exists to amortize.
+
+use crate::addr::PhysAddr;
+
+/// Log2 of the watch granule size in bytes.
+pub const GRANULE_SHIFT: u32 = 4;
+/// Watch granule size in bytes.
+pub const GRANULE_SIZE: u32 = 1 << GRANULE_SHIFT;
+
+/// Granule-granular watchpoints over physical memory, with a monotonically
+/// increasing invalidation epoch.
+#[derive(Debug, Clone)]
+pub struct CodeWatch {
+    /// One bit per [`GRANULE_SIZE`]-byte granule of physical memory.
+    granules: Vec<u64>,
+    /// Bumped whenever any watched byte may have changed.
+    epoch: u64,
+    /// Fast path: true while at least one granule bit is set.
+    any_watched: bool,
+}
+
+impl CodeWatch {
+    /// A watch covering `mem_bytes` of physical memory, nothing watched.
+    pub fn new(mem_bytes: usize) -> CodeWatch {
+        let granules = mem_bytes >> GRANULE_SHIFT;
+        CodeWatch {
+            granules: vec![0; granules.div_ceil(64).max(1)],
+            epoch: 0,
+            any_watched: false,
+        }
+    }
+
+    /// The current invalidation epoch. Consumers cache this value and
+    /// compare per step: unchanged epoch ⇒ every watched byte is unchanged.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Watch the granules overlapped by `[pa, pa + len)`.
+    pub fn watch(&mut self, pa: PhysAddr, len: u32) {
+        if len == 0 {
+            return;
+        }
+        let first = (pa.0 >> GRANULE_SHIFT) as usize;
+        let last = (pa.add(len - 1).0 >> GRANULE_SHIFT) as usize;
+        for g in first..=last {
+            if let Some(word) = self.granules.get_mut(g / 64) {
+                *word |= 1 << (g % 64);
+                self.any_watched = true;
+            }
+        }
+    }
+
+    /// Note a store of `size` bytes at `pa`. If it overlaps any watched
+    /// granule the epoch advances and all watchpoints clear (the consumer
+    /// re-registers what it still needs as it repopulates its cache).
+    #[inline]
+    pub fn note_write(&mut self, pa: PhysAddr, size: u32) {
+        if !self.any_watched {
+            return;
+        }
+        let first = (pa.0 >> GRANULE_SHIFT) as usize;
+        let last = (pa.add(size.saturating_sub(1)).0 >> GRANULE_SHIFT) as usize;
+        for g in first..=last {
+            let watched = self
+                .granules
+                .get(g / 64)
+                .is_some_and(|w| w & (1 << (g % 64)) != 0);
+            if watched {
+                self.invalidate_all();
+                return;
+            }
+        }
+    }
+
+    /// Unconditionally advance the epoch and drop every watchpoint (page
+    /// remap, direct physical-memory access, anything untrackable).
+    pub fn invalidate_all(&mut self) {
+        self.epoch += 1;
+        if self.any_watched {
+            self.granules.iter_mut().for_each(|w| *w = 0);
+            self.any_watched = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::PAGE_SIZE;
+
+    #[test]
+    fn unwatched_writes_do_not_invalidate() {
+        let mut w = CodeWatch::new(1 << 20);
+        let e0 = w.epoch();
+        w.note_write(PhysAddr(0x400), 4);
+        assert_eq!(w.epoch(), e0);
+    }
+
+    #[test]
+    fn write_to_watched_granule_bumps_epoch() {
+        let mut w = CodeWatch::new(1 << 20);
+        w.watch(PhysAddr(0x1000), 8);
+        let e0 = w.epoch();
+        // Same granule, different offset: still an overlap.
+        w.note_write(PhysAddr(0x100C), 4);
+        assert_eq!(w.epoch(), e0 + 1);
+        // Watchpoints cleared: the same write no longer invalidates.
+        w.note_write(PhysAddr(0x1000), 4);
+        assert_eq!(w.epoch(), e0 + 1);
+    }
+
+    #[test]
+    fn same_page_different_granule_does_not_invalidate() {
+        let mut w = CodeWatch::new(1 << 20);
+        // Code at the start of a page, a data counter at its end — the
+        // situation a page-granular watch would falsely flag as SMC.
+        w.watch(PhysAddr(0x1000), 8);
+        let e0 = w.epoch();
+        w.note_write(PhysAddr(0x11F0), 4);
+        assert_eq!(w.epoch(), e0, "write a granule away is not SMC");
+    }
+
+    #[test]
+    fn watch_and_write_span_boundaries() {
+        let mut w = CodeWatch::new(1 << 20);
+        // Watch a range whose tail crosses into the next page.
+        w.watch(PhysAddr(2 * PAGE_SIZE - 2), 6);
+        let e0 = w.epoch();
+        w.note_write(PhysAddr(2 * PAGE_SIZE + 2), 1);
+        assert_eq!(w.epoch(), e0 + 1, "tail granule of the range is watched");
+
+        w.watch(PhysAddr(5 * PAGE_SIZE), 4);
+        let e1 = w.epoch();
+        // A write whose tail reaches the watched granule.
+        w.note_write(PhysAddr(5 * PAGE_SIZE - 2), 4);
+        assert_eq!(w.epoch(), e1 + 1);
+    }
+
+    #[test]
+    fn invalidate_all_always_advances() {
+        let mut w = CodeWatch::new(1 << 20);
+        let e0 = w.epoch();
+        w.invalidate_all();
+        w.invalidate_all();
+        assert_eq!(w.epoch(), e0 + 2);
+    }
+
+    #[test]
+    fn out_of_range_addresses_are_ignored() {
+        let mut w = CodeWatch::new(4 * PAGE_SIZE as usize);
+        w.watch(PhysAddr(64 * PAGE_SIZE), 4); // beyond physical memory
+        let e0 = w.epoch();
+        w.note_write(PhysAddr(64 * PAGE_SIZE), 4);
+        assert_eq!(w.epoch(), e0);
+    }
+}

@@ -25,6 +25,7 @@
 
 pub mod addr;
 pub mod cache;
+pub mod codewatch;
 pub mod memsys;
 pub mod pagetable;
 pub mod phys;
@@ -36,6 +37,7 @@ pub mod writebuf;
 
 pub use addr::{PhysAddr, Region, VirtAddr, PAGE_SIZE};
 pub use cache::{Cache, CacheConfig};
+pub use codewatch::CodeWatch;
 pub use memsys::{MemConfig, MemorySystem, RefClass};
 pub use pagetable::{PageTables, Pte};
 pub use phys::PhysicalMemory;

@@ -9,6 +9,7 @@
 
 use crate::addr::{PhysAddr, VirtAddr};
 use crate::cache::{Cache, CacheConfig};
+use crate::codewatch::CodeWatch;
 use crate::pagetable::{PageTables, Pte, PteLocation, TranslateError};
 use crate::phys::PhysicalMemory;
 use crate::sbi::{Sbi, SbiConfig};
@@ -100,6 +101,8 @@ pub struct MemorySystem {
     /// Observability event bus (shared with the CPU, which owns this memory
     /// system). Detached — and free — unless a sink is attached.
     pub trace: TraceBus,
+    /// Write-path watchpoints backing the CPU's decoded-instruction cache.
+    code_watch: CodeWatch,
 }
 
 impl MemorySystem {
@@ -114,6 +117,7 @@ impl MemorySystem {
             tables: PageTables::empty(),
             stats: MemStats::new(),
             trace: TraceBus::detached(),
+            code_watch: CodeWatch::new(config.mem_bytes),
         }
     }
 
@@ -128,8 +132,36 @@ impl MemorySystem {
     }
 
     /// Mutable access to physical memory.
+    ///
+    /// This is an untracked escape hatch (loaders, kernel builders), so it
+    /// conservatively invalidates every code watchpoint: the caller may
+    /// write anything anywhere.
     pub fn phys_mut(&mut self) -> &mut PhysicalMemory {
+        self.code_watch.invalidate_all();
         &mut self.phys
+    }
+
+    // ---- decoded-instruction-cache invalidation hooks ----
+
+    /// Watch the physical memory holding `[pa, pa + len)`: a later store
+    /// overlapping it advances [`MemorySystem::code_epoch`]. The CPU
+    /// registers each instruction's bytes here when it caches a decode.
+    pub fn watch_code(&mut self, pa: PhysAddr, len: u32) {
+        self.code_watch.watch(pa, len);
+    }
+
+    /// Epoch of the code watchpoints. While this value is unchanged, no
+    /// watched instruction byte has been stored to, no page has been
+    /// remapped via [`MemorySystem::install_pte`], and no untracked
+    /// [`MemorySystem::phys_mut`] access has occurred.
+    #[inline]
+    pub fn code_epoch(&self) -> u64 {
+        self.code_watch.epoch()
+    }
+
+    /// Unconditionally invalidate all code watchpoints (advances the epoch).
+    pub fn invalidate_code_watch(&mut self) {
+        self.code_watch.invalidate_all();
     }
 
     /// The translation buffer (e.g. for LDPCTX to flush the process half).
@@ -259,6 +291,39 @@ impl MemorySystem {
         }
     }
 
+    /// [`MemorySystem::raw_translate`], additionally registering the PTE
+    /// bytes consulted along the walk as code watchpoints. The decode-cache
+    /// fill path translates through this so that a later guest store into
+    /// page-table memory — remapping cached code without touching its
+    /// bytes — advances [`MemorySystem::code_epoch`] like any other write
+    /// under cached code.
+    ///
+    /// # Errors
+    /// [`TranslateError`] as for [`MemorySystem::raw_translate`].
+    pub fn raw_translate_watched(&mut self, va: VirtAddr) -> Result<PhysAddr, TranslateError> {
+        let pte_pa = match self.tables.pte_location(va)? {
+            PteLocation::Phys(pa) => pa,
+            PteLocation::Virt(sys_va) => {
+                let sys_pte_pa = match self.tables.pte_location(sys_va)? {
+                    PteLocation::Phys(pa) => pa,
+                    PteLocation::Virt(_) => unreachable!("system PTEs are physical"),
+                };
+                self.code_watch.watch(sys_pte_pa, 4);
+                let sys_pte = Pte(self.phys.read(sys_pte_pa, 4) as u32);
+                if !sys_pte.is_valid() {
+                    return Err(TranslateError::LengthViolation(sys_va));
+                }
+                PhysAddr::from_pfn(sys_pte.pfn(), sys_va.offset())
+            }
+        };
+        self.code_watch.watch(pte_pa, 4);
+        let pte = Pte(self.phys.read(pte_pa, 4) as u32);
+        if !pte.is_valid() {
+            return Err(TranslateError::LengthViolation(va));
+        }
+        Ok(PhysAddr::from_pfn(pte.pfn(), va.offset()))
+    }
+
     /// Untimed full walk (loaders and diagnostics; touches nothing).
     ///
     /// # Errors
@@ -371,7 +436,10 @@ impl MemorySystem {
     }
 
     /// Write a value to physical memory without touching timing state.
+    /// Stores overlapping a watched code page advance the code epoch
+    /// (self-modifying code detection).
     pub fn value_write(&mut self, pa: PhysAddr, size: u32, v: u64) {
+        self.code_watch.note_write(pa, size);
         self.phys.write(pa, size, v);
     }
 
@@ -398,6 +466,9 @@ impl MemorySystem {
                 .expect("install_pte: page-table page not mapped"),
         };
         self.phys.write(pa, 4, pte.0 as u64);
+        // A remap changes what any virtual PC names; cached decodes of
+        // affected addresses must not survive it.
+        self.code_watch.invalidate_all();
     }
 }
 

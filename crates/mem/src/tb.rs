@@ -45,6 +45,10 @@ struct TbEntry {
 pub struct Tb {
     config: TbConfig,
     sets_per_half: usize,
+    /// `sets_per_half - 1` when it is a power of two (the 780's geometry):
+    /// lets the per-probe set index be a mask instead of a hardware
+    /// divide, which matters at several probes per simulated instruction.
+    set_mask: Option<u32>,
     /// `[half][set][way]`, flattened.
     entries: Vec<TbEntry>,
     /// Round-robin victim pointer per (half, set).
@@ -69,6 +73,9 @@ impl Tb {
         Tb {
             config,
             sets_per_half,
+            set_mask: sets_per_half
+                .is_power_of_two()
+                .then(|| sets_per_half as u32 - 1),
             entries: vec![TbEntry::default(); config.entries],
             victim: vec![0; sets_per_half * halves],
         }
@@ -95,7 +102,10 @@ impl Tb {
 
     #[inline]
     fn set_index(&self, va: VirtAddr) -> usize {
-        (va.vpn() as usize) % self.sets_per_half
+        match self.set_mask {
+            Some(mask) => (va.vpn() & mask) as usize,
+            None => (va.vpn() as usize) % self.sets_per_half,
+        }
     }
 
     #[inline]

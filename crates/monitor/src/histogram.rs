@@ -57,8 +57,8 @@ impl Histogram {
 
     /// Clear all buckets (Unibus "clear" command).
     pub fn clear(&mut self) {
-        self.normal.iter_mut().for_each(|c| *c = 0);
-        self.stalled.iter_mut().for_each(|c| *c = 0);
+        self.normal.fill(0);
+        self.stalled.fill(0);
     }
 
     /// Record `n` cycles at `upc` in `plane`. No-op while stopped — the

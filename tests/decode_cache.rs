@@ -1,0 +1,124 @@
+//! Decode-cache correctness: self-modifying code invalidation and exact
+//! equivalence between cached and uncached runs.
+//!
+//! The decode cache is a host-side accelerator — these tests pin down the
+//! two ways it could go wrong: serving a stale decode after the underlying
+//! code bytes change (self-modifying code), and perturbing any simulated
+//! quantity at all (the cache-off configuration is the oracle).
+
+use vax780::{ProcessSpec, SystemBuilder, SystemConfig};
+use vax_asm::parse;
+use vax_workload::{build_system, Workload};
+
+/// A process whose loop body overwrites one of its own instructions.
+///
+/// Layout (origin 0x200): three 2/3-byte setup instructions put the patch
+/// target at 0x207. The first loop pass executes `INCL R5` at 0x207 (and
+/// caches its decode); the `MOVW` then stores 0x56D6 — the encoding of
+/// `INCL R6` — over those same bytes, so the second pass must execute the
+/// *new* instruction. With a stale decode the run ends R5=2/R6=0 instead.
+const SMC_PROGRAM: &str = r#"
+    entry:  CLRL R5
+            CLRL R6
+            MOVL #2, R4
+    loop:   INCL R5
+            MOVW #0x56D6, @#0x207
+            SOBGTR R4, loop
+    spin:   BRB spin
+"#;
+
+const SMC_TARGET: u32 = 0x207;
+
+fn smc_system(decode_cache: bool) -> vax780::System {
+    let image = parse(SMC_PROGRAM, 0x200).expect("assembly failed");
+    // The test hardcodes the patch-target offset; pin it against assembler
+    // encoding drift before running anything.
+    let off = (SMC_TARGET - 0x200) as usize;
+    assert_eq!(
+        &image.bytes[off..off + 2],
+        &[0xD6, 0x55],
+        "expected INCL R5 at {SMC_TARGET:#x}; did instruction encodings shift?"
+    );
+    let mut b = SystemBuilder::new(SystemConfig::default());
+    b.add_process(ProcessSpec::new(image, "entry").with_bss_pages(8));
+    let mut sys = b.build();
+    sys.cpu.config.decode_cache = decode_cache;
+    sys
+}
+
+#[test]
+fn self_modifying_store_executes_new_instruction() {
+    let mut sys = smc_system(true);
+    sys.run_instructions(50);
+    assert_eq!(sys.cpu.regs[5], 1, "pass 1 must run the original INCL R5");
+    assert_eq!(sys.cpu.regs[6], 1, "pass 2 must run the patched INCL R6");
+    // The guest store really went through the invalidation path.
+    assert!(
+        sys.cpu.decode_cache_stats().flushes >= 1,
+        "patching live code must flush the decode cache"
+    );
+}
+
+#[test]
+fn self_modifying_code_matches_uncached_oracle() {
+    let run = |decode_cache: bool| {
+        let mut sys = smc_system(decode_cache);
+        sys.run_instructions(50);
+        (sys.cpu.regs, sys.cpu.cycle, sys.cpu.stats.clone())
+    };
+    assert_eq!(run(true), run(false));
+}
+
+#[test]
+fn instruction_straddling_page_boundary_decodes() {
+    // 255 two-byte INCLs fill 0x200..0x3FE; the 7-byte MOVL then starts at
+    // 0x3FE and straddles the 512-byte page boundary at 0x400, so its fetch
+    // spans two (possibly non-adjacent) physical frames. Exercises the
+    // page-by-page refill in `peek_code` / `watch_code_range`.
+    let mut src = String::from("entry:  INCL R5\n");
+    for _ in 0..254 {
+        src.push_str("        INCL R5\n");
+    }
+    src.push_str("        MOVL #0x12345678, R7\n");
+    src.push_str("spin:   BRB spin\n");
+
+    let image = parse(&src, 0x200).expect("assembly failed");
+    let movl_off = 0x3FE - 0x200;
+    assert_eq!(
+        image.bytes[movl_off], 0xD0,
+        "MOVL must start 2 bytes before the page boundary"
+    );
+
+    for decode_cache in [true, false] {
+        let mut b = SystemBuilder::new(SystemConfig::default());
+        b.add_process(ProcessSpec::new(image.clone(), "entry").with_bss_pages(8));
+        let mut sys = b.build();
+        sys.cpu.config.decode_cache = decode_cache;
+        sys.run_instructions(300);
+        assert_eq!(sys.cpu.regs[5], 255);
+        assert_eq!(
+            sys.cpu.regs[7], 0x12345678,
+            "page-straddling MOVL mis-decoded (decode_cache={decode_cache})"
+        );
+    }
+}
+
+#[test]
+fn cached_and_uncached_measurements_are_identical() {
+    // Full multi-process runs (context switches, TB misses, interrupts):
+    // every simulated quantity in the Measurement must be bit-identical
+    // with the cache on and off.
+    for (w, seed) in [
+        (Workload::TimesharingResearch, 11),
+        (Workload::Educational, 5),
+    ] {
+        let measure = |decode_cache: bool| {
+            let mut sys = build_system(w, 3, seed);
+            sys.cpu.config.decode_cache = decode_cache;
+            sys.measure(2_000, 40_000)
+        };
+        let cached = measure(true);
+        let uncached = measure(false);
+        assert_eq!(cached, uncached, "{w:?}: decode cache changed behavior");
+    }
+}
