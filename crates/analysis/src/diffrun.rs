@@ -163,8 +163,8 @@ impl DiffReport {
                         out,
                         "  {tag}  {}: {a} -> {b}  (|Δ| {:.3e}, rel {:.3e})",
                         d.path,
-                        d.abs_delta().unwrap(),
-                        d.rel_delta().unwrap()
+                        d.abs_delta().unwrap_or(f64::NAN),
+                        d.rel_delta().unwrap_or(f64::NAN)
                     );
                 }
                 DeltaKind::Value { a, b } => {
@@ -216,7 +216,12 @@ fn walk(path: &str, a: &Json, b: &Json, tol: &Tolerance, report: &mut DiffReport
         }
         (Json::Int(_) | Json::Num(_), Json::Int(_) | Json::Num(_)) => {
             report.compared += 1;
-            let (x, y) = (a.as_f64().unwrap(), b.as_f64().unwrap());
+            // Both sides are Int|Num by the arm's pattern, so as_f64 is
+            // always Some; NAN would only flag a (reported) difference.
+            let (x, y) = (
+                a.as_f64().unwrap_or(f64::NAN),
+                b.as_f64().unwrap_or(f64::NAN),
+            );
             if x.to_bits() != y.to_bits() {
                 report.deltas.push(MetricDelta {
                     path: path.to_string(),

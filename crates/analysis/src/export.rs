@@ -35,13 +35,24 @@ pub struct RunManifest {
     pub shards: u64,
     /// Human-readable description of the simulated configuration.
     pub config: String,
+    /// Fault-injection seed, when a fault plan was installed.
+    pub fault_seed: Option<u64>,
+    /// Enabled fault classes, canonical names in canonical order (empty
+    /// when no faults were injected).
+    pub fault_classes: Vec<String>,
+    /// True when at least one (workload, shard) cell exhausted its retry
+    /// budget and was quarantined — the exports then cover only the
+    /// completed cells.
+    pub degraded: bool,
+    /// Quarantined cells as (workload name, shard index), grid order.
+    pub failed_cells: Vec<(String, u64)>,
 }
 
 impl RunManifest {
     /// Serialize the manifest.
     pub fn to_json(&self) -> Json {
         Json::obj([
-            ("format_version", Json::Int(1)),
+            ("format_version", Json::Int(2)),
             (
                 "paper",
                 Json::from(
@@ -56,6 +67,24 @@ impl RunManifest {
             ("interval_cycles", Json::from(self.interval_cycles)),
             ("shards", Json::from(self.shards)),
             ("config", Json::from(self.config.clone())),
+            (
+                "fault_seed",
+                self.fault_seed.map(Json::from).unwrap_or(Json::Null),
+            ),
+            (
+                "fault_classes",
+                Json::arr(self.fault_classes.iter().map(|c| Json::from(c.clone()))),
+            ),
+            ("degraded", Json::from(self.degraded)),
+            (
+                "failed_cells",
+                Json::arr(self.failed_cells.iter().map(|(w, s)| {
+                    Json::obj([
+                        ("workload", Json::from(w.clone())),
+                        ("shard", Json::from(*s)),
+                    ])
+                })),
+            ),
         ])
     }
 }
@@ -97,6 +126,7 @@ pub fn measurement_json(m: &Measurement) -> Json {
                     "sw_interrupt_requests",
                     Json::from(cs.sw_interrupt_requests),
                 ),
+                ("machine_checks", Json::from(cs.machine_checks)),
                 ("context_switches", Json::from(cs.context_switches)),
                 ("exceptions", Json::from(cs.exceptions)),
                 ("spec1_count", Json::from(cs.spec1_count)),
@@ -124,6 +154,7 @@ pub fn measurement_json(m: &Measurement) -> Json {
                 ("pte_read_misses", Json::from(ms.pte_read_misses)),
                 ("read_stall_cycles", Json::from(ms.read_stall_cycles)),
                 ("write_stall_cycles", Json::from(ms.write_stall_cycles)),
+                ("parity_faults", Json::from(ms.parity_faults)),
             ]),
         ),
         (
@@ -669,6 +700,10 @@ mod tests {
             interval_cycles: 2_000,
             shards: 1,
             config: "default".to_string(),
+            fault_seed: None,
+            fault_classes: Vec::new(),
+            degraded: false,
+            failed_cells: Vec::new(),
         };
         let files = run_artifacts(&manifest, &a, &ts, &v);
         let names: Vec<&str> = files.iter().map(|(n, _)| *n).collect();

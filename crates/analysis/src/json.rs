@@ -330,8 +330,12 @@ impl Parser<'_> {
                 Some(_) => {
                     // Consume one UTF-8 character.
                     let rest = &self.bytes[self.at..];
-                    let s = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
-                    let c = s.chars().next().unwrap();
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|e| format!("invalid UTF-8 at byte {}: {e}", self.at))?;
+                    let c = s
+                        .chars()
+                        .next()
+                        .ok_or_else(|| format!("unterminated string at byte {start}"))?;
                     out.push(c);
                     self.at += c.len_utf8();
                 }
@@ -355,7 +359,8 @@ impl Parser<'_> {
                 _ => break,
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.at]).unwrap();
+        let text = std::str::from_utf8(&self.bytes[start..self.at])
+            .map_err(|e| format!("invalid UTF-8 in number at byte {start}: {e}"))?;
         if is_float {
             text.parse::<f64>()
                 .map(Json::Num)
@@ -400,11 +405,15 @@ impl Parser<'_> {
         }
         loop {
             self.skip_ws();
+            let key_at = self.at;
             let key = self.string()?;
             self.skip_ws();
             self.expect(b':')?;
             self.skip_ws();
             let value = self.value()?;
+            if members.iter().any(|(k, _)| *k == key) {
+                return Err(format!("duplicate key '{key}' at byte {key_at}"));
+            }
             members.push((key, value));
             self.skip_ws();
             match self.peek() {
@@ -459,6 +468,16 @@ mod tests {
         assert!(Json::parse("[1,]").is_err());
         assert!(Json::parse("[1] extra").is_err());
         assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_keys() {
+        let err = Json::parse(r#"{"a": 1, "b": 2, "a": 3}"#).unwrap_err();
+        assert!(err.contains("duplicate key 'a'"), "{err}");
+        // Nested objects are checked too.
+        assert!(Json::parse(r#"{"x": {"k": 1, "k": 1}}"#).is_err());
+        // Same key at different nesting levels is fine.
+        assert!(Json::parse(r#"{"k": {"k": 1}}"#).is_ok());
     }
 
     #[test]

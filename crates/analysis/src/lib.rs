@@ -10,6 +10,7 @@
 //! yield event frequencies (specifier modes, TB misses).
 
 pub mod analysis;
+pub mod checkpoint;
 pub mod diffrun;
 pub mod export;
 pub mod json;
@@ -19,6 +20,7 @@ pub mod tables;
 pub mod validate;
 
 pub use analysis::Analysis;
+pub use checkpoint::{cell_from_json, cell_to_json, CheckpointCell};
 pub use diffrun::{diff_json, DeltaKind, DiffReport, MetricDelta, Tolerance};
 pub use export::{
     measurement_json, run_artifacts, tables_json, timeseries_from_json, timeseries_json,

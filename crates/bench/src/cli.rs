@@ -5,12 +5,15 @@
 //! message (and a nonzero exit in the binary), never silently defaulted —
 //! a bad flag would otherwise waste a five-workload measurement run.
 //!
-//! Three commands: the default measurement run, `reproduce diff A B`
-//! which compares two exported run directories for CI gating, and
+//! Four commands: the default measurement run, `reproduce diff A B`
+//! which compares two exported run directories for CI gating,
 //! `reproduce bench-check BASELINE CANDIDATE` which gates on host
-//! throughput regressions.
+//! throughput regressions, and `reproduce resume DIR` which completes an
+//! interrupted run from its checkpoints.
 
 use std::path::PathBuf;
+
+use vax780::FaultClass;
 
 use crate::progress::Verbosity;
 
@@ -68,6 +71,25 @@ pub struct Options {
     pub verbosity: Verbosity,
     /// Directory for the host self-metering report `BENCH_<unix-ts>.json`.
     pub bench_out: Option<PathBuf>,
+    /// Fault-injection seed: when set, every `(workload, shard)` cell runs
+    /// under a deterministic [`vax780::FaultPlan`] split from this seed.
+    pub fault_seed: Option<u64>,
+    /// Fault classes to inject (canonical order; all of them unless
+    /// `--fault-classes` narrows the set). Empty iff `fault_seed` is unset.
+    pub fault_classes: Vec<FaultClass>,
+    /// Extra attempts for a shard whose run panics or times out. Each
+    /// attempt builds a fresh system from the same shard seed, so a retry
+    /// that succeeds is byte-identical to a first-attempt success.
+    pub retries: u32,
+    /// Per-attempt wall-clock budget in seconds for one shard; exceeded ⇒
+    /// the shard's watchdog trips and the attempt counts as failed.
+    pub shard_timeout_secs: Option<f64>,
+    /// Exit nonzero when any cell was quarantined (partial results are
+    /// still exported either way).
+    pub strict: bool,
+    /// Test hook: make cell `(workload, shard)` panic on its first N
+    /// attempts (`--inject-panic W:S:N`), exercising the supervisor.
+    pub inject_panic: Option<(u64, u64, u32)>,
 }
 
 impl Default for Options {
@@ -87,8 +109,33 @@ impl Default for Options {
             flight_recorder: 0,
             verbosity: Verbosity::Normal,
             bench_out: None,
+            fault_seed: None,
+            fault_classes: Vec::new(),
+            retries: 0,
+            shard_timeout_secs: None,
+            strict: false,
+            inject_panic: None,
         }
     }
+}
+
+/// Options for `reproduce resume DIR`. The experiment definition comes from
+/// the checkpoint header in `DIR/checkpoints/run.json`; only runtime knobs
+/// (parallelism, supervision, narration) can be chosen at resume time.
+#[derive(Debug, Clone)]
+pub struct ResumeOptions {
+    /// The interrupted run's output directory (with its `checkpoints/`).
+    pub dir: PathBuf,
+    /// Worker threads for the remaining cells.
+    pub jobs: usize,
+    /// Retry budget for the remaining cells.
+    pub retries: u32,
+    /// Watchdog budget per attempt, in seconds.
+    pub shard_timeout_secs: Option<f64>,
+    /// Exit nonzero if any cell is quarantined.
+    pub strict: bool,
+    /// Stderr narration level.
+    pub verbosity: Verbosity,
 }
 
 /// Options for `reproduce diff`.
@@ -114,6 +161,8 @@ pub enum Command {
     Diff(DiffOptions),
     /// `reproduce bench-check BASELINE CANDIDATE`.
     BenchCheck(crate::benchcheck::BenchCheckOptions),
+    /// `reproduce resume DIR`.
+    Resume(ResumeOptions),
 }
 
 /// One-line usage string.
@@ -122,10 +171,13 @@ pub fn usage() -> String {
      [--experiment fig1|table1..table9|events|all] [--per-workload] \
      [--format text|json] [--out DIR] [--interval-cycles N] \
      [--profile] [--top N] [--flight-recorder K] [--quiet|--verbose] \
-     [--bench-out DIR]\n\
+     [--bench-out DIR] [--fault-seed S] [--fault-classes C1,C2,..] \
+     [--retries N] [--shard-timeout SECS] [--strict] [--inject-panic W:S:N]\n\
      \x20      reproduce diff BASELINE_DIR CANDIDATE_DIR [--abs-tol X] [--rel-tol X]\n\
      \x20      reproduce bench-check BASELINE_JSON CANDIDATE_JSON_OR_DIR \
-     [--max-regression FRAC]"
+     [--max-regression FRAC]\n\
+     \x20      reproduce resume DIR [--jobs N] [--retries N] [--shard-timeout SECS] \
+     [--strict] [--quiet|--verbose]"
         .to_string()
 }
 
@@ -158,8 +210,99 @@ pub fn parse_command(args: &[String]) -> Result<Command, String> {
     match args.first().map(String::as_str) {
         Some("diff") => parse_diff_args(&args[1..]).map(Command::Diff),
         Some("bench-check") => parse_bench_check_args(&args[1..]).map(Command::BenchCheck),
+        Some("resume") => parse_resume_args(&args[1..]).map(Command::Resume),
         _ => parse_args(args).map(Command::Run),
     }
+}
+
+/// Parse `--shard-timeout` (seconds, strictly positive).
+fn parse_shard_timeout(value: Option<&String>) -> Result<f64, String> {
+    let v = parse_f64("--shard-timeout", value)?;
+    if v <= 0.0 {
+        return Err("--shard-timeout must be greater than zero".to_string());
+    }
+    Ok(v)
+}
+
+/// Parse the `--inject-panic W:S:N` test hook.
+fn parse_inject_panic(value: Option<&String>) -> Result<(u64, u64, u32), String> {
+    let raw = value.ok_or_else(|| "--inject-panic requires a value".to_string())?;
+    let parts: Vec<&str> = raw.split(':').collect();
+    let parsed: Option<(u64, u64, u32)> = match parts.as_slice() {
+        [w, s, n] => w
+            .parse()
+            .ok()
+            .zip(s.parse().ok())
+            .zip(n.parse().ok())
+            .map(|((w, s), n)| (w, s, n)),
+        _ => None,
+    };
+    parsed.ok_or_else(|| {
+        format!("invalid value for --inject-panic: '{raw}' (expected WORKLOAD:SHARD:ATTEMPTS)")
+    })
+}
+
+/// Parse `reproduce resume` arguments (after the subcommand word).
+pub fn parse_resume_args(args: &[String]) -> Result<ResumeOptions, String> {
+    let mut dir: Option<PathBuf> = None;
+    let mut opts = ResumeOptions {
+        dir: PathBuf::new(),
+        jobs: 1,
+        retries: 0,
+        shard_timeout_secs: None,
+        strict: false,
+        verbosity: Verbosity::Normal,
+    };
+    let mut quiet = false;
+    let mut verbose = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--jobs" => {
+                i += 1;
+                let n = parse_u64("--jobs", args.get(i))?;
+                if n == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+                opts.jobs = n as usize;
+            }
+            "--retries" => {
+                i += 1;
+                opts.retries = parse_u64("--retries", args.get(i))? as u32;
+            }
+            "--shard-timeout" => {
+                i += 1;
+                opts.shard_timeout_secs = Some(parse_shard_timeout(args.get(i))?);
+            }
+            "--strict" => opts.strict = true,
+            "--quiet" => quiet = true,
+            "--verbose" => verbose = true,
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown argument '{flag}' for resume\n{}", usage()))
+            }
+            path => {
+                if dir.replace(PathBuf::from(path)).is_some() {
+                    return Err(format!(
+                        "resume takes exactly one run directory (got extra '{path}')\n{}",
+                        usage()
+                    ));
+                }
+            }
+        }
+        i += 1;
+    }
+    if quiet && verbose {
+        return Err("--quiet and --verbose are mutually exclusive".to_string());
+    }
+    opts.verbosity = if quiet {
+        Verbosity::Quiet
+    } else if verbose {
+        Verbosity::Verbose
+    } else {
+        Verbosity::Normal
+    };
+    opts.dir = dir.ok_or_else(|| format!("resume requires a run directory\n{}", usage()))?;
+    Ok(opts)
 }
 
 /// Parse `reproduce bench-check` arguments (after the subcommand word).
@@ -343,6 +486,30 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
                 i += 1;
                 opts.flight_recorder = parse_u64("--flight-recorder", args.get(i))? as usize;
             }
+            "--fault-seed" => {
+                i += 1;
+                opts.fault_seed = Some(parse_u64("--fault-seed", args.get(i))?);
+            }
+            "--fault-classes" => {
+                i += 1;
+                let raw = args
+                    .get(i)
+                    .ok_or_else(|| "--fault-classes requires a value".to_string())?;
+                opts.fault_classes = vax780::parse_classes(raw)?;
+            }
+            "--retries" => {
+                i += 1;
+                opts.retries = parse_u64("--retries", args.get(i))? as u32;
+            }
+            "--shard-timeout" => {
+                i += 1;
+                opts.shard_timeout_secs = Some(parse_shard_timeout(args.get(i))?);
+            }
+            "--inject-panic" => {
+                i += 1;
+                opts.inject_panic = Some(parse_inject_panic(args.get(i))?);
+            }
+            "--strict" => opts.strict = true,
             "--per-workload" => opts.per_workload = true,
             "--profile" => opts.profile = true,
             "--quiet" => quiet = true,
@@ -353,6 +520,16 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
     }
     if quiet && verbose {
         return Err("--quiet and --verbose are mutually exclusive".to_string());
+    }
+    match opts.fault_seed {
+        // Classes without a seed would silently inject nothing.
+        None if !opts.fault_classes.is_empty() => {
+            return Err("--fault-classes requires --fault-seed".to_string());
+        }
+        Some(_) if opts.fault_classes.is_empty() => {
+            opts.fault_classes = FaultClass::ALL.to_vec();
+        }
+        _ => {}
     }
     opts.verbosity = if quiet {
         Verbosity::Quiet
@@ -496,6 +673,90 @@ mod tests {
             .unwrap_err()
             .contains("mutually exclusive"));
         assert_eq!(parse(&["--quiet"]).unwrap().verbosity, Verbosity::Quiet);
+    }
+
+    #[test]
+    fn fault_flags_parse() {
+        let o = parse(&["--fault-seed", "7"]).unwrap();
+        assert_eq!(o.fault_seed, Some(7));
+        assert_eq!(o.fault_classes, FaultClass::ALL.to_vec(), "defaults to all");
+
+        let o = parse(&["--fault-seed", "7", "--fault-classes", "parity,smc"]).unwrap();
+        assert_eq!(
+            o.fault_classes,
+            vec![FaultClass::Parity, FaultClass::Smc],
+            "canonical order, narrowed set"
+        );
+
+        let err = parse(&["--fault-classes", "parity"]).unwrap_err();
+        assert!(err.contains("requires --fault-seed"), "{err}");
+        assert!(parse(&["--fault-seed", "7", "--fault-classes", "bogus"]).is_err());
+
+        let o = parse(&[]).unwrap();
+        assert!(o.fault_seed.is_none());
+        assert!(o.fault_classes.is_empty());
+    }
+
+    #[test]
+    fn supervision_flags_parse() {
+        let o = parse(&[
+            "--retries",
+            "2",
+            "--shard-timeout",
+            "1.5",
+            "--strict",
+            "--inject-panic",
+            "1:0:2",
+        ])
+        .unwrap();
+        assert_eq!(o.retries, 2);
+        assert_eq!(o.shard_timeout_secs, Some(1.5));
+        assert!(o.strict);
+        assert_eq!(o.inject_panic, Some((1, 0, 2)));
+
+        assert!(parse(&["--shard-timeout", "0"]).is_err());
+        assert!(parse(&["--shard-timeout", "-1"]).is_err());
+        for bad in ["1:2", "1:2:3:4", "a:0:1", ""] {
+            assert!(parse(&["--inject-panic", bad]).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn resume_subcommand_parses() {
+        let cmd = parse_cmd(&[
+            "resume",
+            "/tmp/run",
+            "--jobs",
+            "4",
+            "--retries",
+            "1",
+            "--shard-timeout",
+            "30",
+            "--strict",
+            "--quiet",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Resume(r) => {
+                assert_eq!(r.dir, std::path::PathBuf::from("/tmp/run"));
+                assert_eq!(r.jobs, 4);
+                assert_eq!(r.retries, 1);
+                assert_eq!(r.shard_timeout_secs, Some(30.0));
+                assert!(r.strict);
+                assert_eq!(r.verbosity, Verbosity::Quiet);
+            }
+            _ => panic!("expected resume"),
+        }
+
+        assert!(parse_cmd(&["resume"])
+            .unwrap_err()
+            .contains("requires a run directory"));
+        assert!(parse_cmd(&["resume", "a", "b"])
+            .unwrap_err()
+            .contains("exactly one"));
+        assert!(parse_cmd(&["resume", "a", "--frobnicate"])
+            .unwrap_err()
+            .contains("--frobnicate"));
     }
 
     #[test]

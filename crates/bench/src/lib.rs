@@ -7,10 +7,12 @@
 pub mod benchcheck;
 pub mod cli;
 pub mod diffcmd;
+pub mod fsio;
 pub mod harness;
 pub mod meter;
 pub mod pool;
 pub mod progress;
+pub mod resume;
 pub mod runner;
 
 /// Default per-workload measurement length (instructions) for the full

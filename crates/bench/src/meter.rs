@@ -12,6 +12,8 @@ use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 use vax_analysis::Json;
 
+use crate::fsio::write_atomic;
+
 /// A started wall-clock measurement; call [`HostMeter::finish`] when the
 /// simulated work is done.
 #[derive(Debug)]
@@ -128,7 +130,7 @@ impl BenchReport {
         std::fs::create_dir_all(dir)
             .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
         let path = dir.join(self.file_name());
-        std::fs::write(&path, self.to_json().to_string_pretty())
+        write_atomic(&path, &self.to_json().to_string_pretty())
             .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
         Ok(path)
     }

@@ -1,4 +1,4 @@
-//! A minimal scoped-thread job pool for the sharded execution engine.
+//! A supervised scoped-thread job pool for the sharded execution engine.
 //!
 //! The simulated systems are deliberately `!Send` (the trace bus hands
 //! `Rc<RefCell<dyn TraceSink>>` handles to every subsystem), so the pool
@@ -9,32 +9,68 @@
 //! no matter which worker ran it or when it finished. That input-indexed
 //! contract is what lets the runner merge shard results deterministically.
 //!
-//! Panic handling: a panicking job does not poison the pool or deadlock the
-//! scope. The first panic wins — its payload and job index are captured,
-//! the remaining queue is abandoned (in-flight jobs finish), and the caller
-//! gets a [`JobPanic`] to contextualize (e.g. with that shard's flight
-//! recording) before resuming the unwind.
+//! Supervision: a panicking job (shard panic or watchdog timeout) does not
+//! poison the pool, deadlock the scope, or abandon the rest of the queue.
+//! The worker retries the job in place up to `retries` more times — each
+//! attempt builds a fresh system from the same seed, so a successful retry
+//! is byte-identical to a first-attempt success — and only after exhausting
+//! its attempts records a [`JobFailure`] and moves on. Every other job
+//! still runs to completion, so the caller always gets the full picture:
+//! all finished results *and* all failures, never just the first panic.
 
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// A panic captured from a worker: which job blew up, and the payload the
-/// job panicked with (re-raise it with [`std::panic::resume_unwind`]).
-pub struct JobPanic {
-    /// Index into the `inputs` slice of the job that panicked.
+/// A job that exhausted its attempts: which input failed, how many times it
+/// was tried, and the payload of the *last* panic (re-raise it with
+/// [`std::panic::resume_unwind`], or render it with [`panic_message`]).
+pub struct JobFailure {
+    /// Index into the `inputs` slice of the job that failed.
     pub index: usize,
-    /// The panic payload, exactly as `catch_unwind` caught it.
+    /// Total attempts made (`1 + retries`).
+    pub attempts: u32,
+    /// The final panic payload, exactly as `catch_unwind` caught it.
     pub payload: Box<dyn Any + Send>,
 }
 
-impl std::fmt::Debug for JobPanic {
+impl std::fmt::Debug for JobFailure {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("JobPanic")
+        f.debug_struct("JobFailure")
             .field("index", &self.index)
+            .field("attempts", &self.attempts)
             .field("message", &panic_message(&self.payload))
             .finish()
+    }
+}
+
+/// Everything the pool produced: one slot per input (in input order;
+/// `None` where the job exhausted its attempts) plus the failures, sorted
+/// by input index.
+pub struct PoolOutcome<O> {
+    /// `slots[i]` holds the output for `inputs[i]`, or `None` if it failed.
+    pub slots: Vec<Option<O>>,
+    /// Jobs that exhausted every attempt, ordered by input index.
+    pub failures: Vec<JobFailure>,
+}
+
+impl<O> PoolOutcome<O> {
+    /// True when every job produced a result.
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Unwrap into plain results; panics if any job failed.
+    pub fn into_results(self) -> Vec<O> {
+        assert!(
+            self.failures.is_empty(),
+            "PoolOutcome::into_results on a degraded outcome"
+        );
+        self.slots
+            .into_iter()
+            .map(|s| s.expect("no failure recorded yet a slot is empty"))
+            .collect()
     }
 }
 
@@ -45,97 +81,108 @@ pub fn panic_message(payload: &Box<dyn Any + Send>) -> &str {
         s
     } else if let Some(s) = payload.downcast_ref::<String>() {
         s
+    } else if payload.downcast_ref::<vax780::WatchdogExpired>().is_some() {
+        "shard watchdog deadline expired"
     } else {
         "<non-string panic payload>"
     }
 }
 
-/// Run `f` over every input on `jobs` worker threads and return the outputs
-/// in input order.
+/// Run `f` over every input on `jobs` worker threads under supervision.
 ///
-/// `f(i, &inputs[i])` may run on any worker; workers pull the next
+/// `f(i, &inputs[i], attempt)` may run on any worker; workers pull the next
 /// unclaimed index from a shared counter, so at most `jobs` calls are in
 /// flight and long jobs don't starve short ones of a thread. With
 /// `jobs == 1` the single worker processes indices `0..n` strictly in
-/// order — the serial loop, verbatim.
+/// order — the serial loop, verbatim. `attempt` starts at 0 and counts the
+/// retries of that particular index.
 ///
-/// # Errors
-/// If any job panics, the first panic (by completion order) is returned as
-/// a [`JobPanic`]; queued jobs that had not started are skipped.
+/// A panicking attempt is retried in place up to `retries` more times; a
+/// job that exhausts all `1 + retries` attempts becomes a [`JobFailure`]
+/// and the worker moves on to the next index. The queue always drains.
 ///
 /// # Panics
 /// Panics if `jobs == 0` (the CLI rejects this before we get here).
-pub fn run_jobs<I, O, F>(jobs: usize, inputs: &[I], f: F) -> Result<Vec<O>, JobPanic>
+pub fn run_supervised<I, O, F>(jobs: usize, inputs: &[I], retries: u32, f: F) -> PoolOutcome<O>
 where
     I: Sync,
     O: Send,
-    F: Fn(usize, &I) -> O + Sync,
+    F: Fn(usize, &I, u32) -> O + Sync,
 {
-    assert!(jobs > 0, "run_jobs: jobs must be at least 1");
+    assert!(jobs > 0, "run_supervised: jobs must be at least 1");
     let next = AtomicUsize::new(0);
-    let abort = AtomicBool::new(false);
     let slots: Vec<Mutex<Option<O>>> = inputs.iter().map(|_| Mutex::new(None)).collect();
-    let first_panic: Mutex<Option<JobPanic>> = Mutex::new(None);
+    let failures: Mutex<Vec<JobFailure>> = Mutex::new(Vec::new());
 
     std::thread::scope(|scope| {
         let workers = jobs.min(inputs.len().max(1));
         for _ in 0..workers {
             scope.spawn(|| loop {
-                if abort.load(Ordering::Acquire) {
-                    return;
-                }
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(input) = inputs.get(i) else { return };
-                match catch_unwind(AssertUnwindSafe(|| f(i, input))) {
-                    Ok(out) => *slots[i].lock().unwrap() = Some(out),
-                    Err(payload) => {
-                        abort.store(true, Ordering::Release);
-                        let mut guard = first_panic.lock().unwrap();
-                        if guard.is_none() {
-                            *guard = Some(JobPanic { index: i, payload });
+                let mut last_payload = None;
+                for attempt in 0..=retries {
+                    match catch_unwind(AssertUnwindSafe(|| f(i, input, attempt))) {
+                        Ok(out) => {
+                            *slots[i].lock().unwrap() = Some(out);
+                            last_payload = None;
+                            break;
                         }
-                        return;
+                        Err(payload) => last_payload = Some(payload),
                     }
+                }
+                if let Some(payload) = last_payload {
+                    failures.lock().unwrap().push(JobFailure {
+                        index: i,
+                        attempts: 1 + retries,
+                        payload,
+                    });
                 }
             });
         }
     });
 
-    if let Some(p) = first_panic.into_inner().unwrap() {
-        return Err(p);
+    let mut failures = failures.into_inner().unwrap();
+    failures.sort_by_key(|fail| fail.index);
+    PoolOutcome {
+        slots: slots
+            .into_iter()
+            .map(|slot| slot.into_inner().unwrap())
+            .collect(),
+        failures,
     }
-    Ok(slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .unwrap()
-                .expect("run_jobs: no panic recorded yet a slot is empty")
-        })
-        .collect())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    fn run_ok<I: Sync, O: Send>(
+        jobs: usize,
+        inputs: &[I],
+        f: impl Fn(usize, &I) -> O + Sync,
+    ) -> Vec<O> {
+        run_supervised(jobs, inputs, 0, |i, input, _| f(i, input)).into_results()
+    }
 
     #[test]
     fn results_come_back_in_input_order() {
         let inputs: Vec<u64> = (0..32).collect();
-        let out = run_jobs(4, &inputs, |i, &x| {
+        let out = run_ok(4, &inputs, |i, &x| {
             // Stagger completion so later indices tend to finish first.
             std::thread::sleep(std::time::Duration::from_micros((32 - i as u64) * 50));
             x * x
-        })
-        .unwrap();
+        });
         let want: Vec<u64> = inputs.iter().map(|x| x * x).collect();
         assert_eq!(out, want);
     }
 
     #[test]
     fn more_jobs_than_inputs_and_empty_input() {
-        let out = run_jobs(8, &[1u32, 2], |_, &x| x + 1).unwrap();
+        let out = run_ok(8, &[1u32, 2], |_, &x| x + 1);
         assert_eq!(out, vec![2, 3]);
-        let none: Vec<u32> = run_jobs(4, &[], |_, &x: &u32| x).unwrap();
+        let none: Vec<u32> = run_ok(4, &[], |_, &x: &u32| x);
         assert!(none.is_empty());
     }
 
@@ -143,28 +190,64 @@ mod tests {
     fn serial_and_parallel_agree() {
         let inputs: Vec<u64> = (0..20).collect();
         let f = |i: usize, &x: &u64| x.wrapping_mul(0x9E37_79B9).rotate_left(i as u32);
-        let serial = run_jobs(1, &inputs, f).unwrap();
-        let parallel = run_jobs(4, &inputs, f).unwrap();
+        let serial = run_ok(1, &inputs, f);
+        let parallel = run_ok(4, &inputs, f);
         assert_eq!(serial, parallel);
     }
 
     #[test]
-    fn panic_propagates_without_deadlock() {
+    fn failure_drains_the_rest_of_the_queue() {
         let inputs: Vec<u64> = (0..16).collect();
-        let err = run_jobs(4, &inputs, |_, &x| {
+        let outcome = run_supervised(4, &inputs, 0, |_, &x, _| {
             if x == 5 {
                 panic!("shard {x} exploded");
             }
             x
-        })
-        .unwrap_err();
-        assert_eq!(err.index, 5);
-        assert_eq!(panic_message(&err.payload), "shard 5 exploded");
+        });
+        assert_eq!(outcome.failures.len(), 1);
+        assert_eq!(outcome.failures[0].index, 5);
+        assert_eq!(outcome.failures[0].attempts, 1);
+        assert_eq!(
+            panic_message(&outcome.failures[0].payload),
+            "shard 5 exploded"
+        );
+        // Every *other* job still completed: the crash report reflects all
+        // finished work, not just what happened to finish before the panic.
+        for (i, slot) in outcome.slots.iter().enumerate() {
+            if i == 5 {
+                assert!(slot.is_none());
+            } else {
+                assert_eq!(*slot, Some(i as u64));
+            }
+        }
+    }
+
+    #[test]
+    fn retry_recovers_a_flaky_job() {
+        let tries = AtomicU32::new(0);
+        let outcome = run_supervised(2, &[7u32], 2, |_, &x, attempt| {
+            tries.fetch_add(1, Ordering::Relaxed);
+            if attempt < 2 {
+                panic!("transient");
+            }
+            x
+        });
+        assert!(outcome.is_complete());
+        assert_eq!(outcome.slots, vec![Some(7)]);
+        assert_eq!(tries.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn exhausted_retries_report_the_attempt_count() {
+        let outcome: PoolOutcome<u32> = run_supervised(1, &[0u32], 3, |_, _, _| panic!("always"));
+        assert_eq!(outcome.failures.len(), 1);
+        assert_eq!(outcome.failures[0].attempts, 4);
+        assert_eq!(outcome.slots, vec![None]);
     }
 
     #[test]
     fn zero_jobs_is_a_programming_error() {
-        let r = std::panic::catch_unwind(|| run_jobs(0, &[1u8], |_, &x| x));
+        let r = std::panic::catch_unwind(|| run_supervised(0, &[1u8], 0, |_, &x, _| x));
         assert!(r.is_err());
     }
 }

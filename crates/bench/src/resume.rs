@@ -1,0 +1,331 @@
+//! Checkpoint layout and the resume protocol.
+//!
+//! A run with `--out DIR` journals its progress under `DIR/checkpoints/`:
+//!
+//! - `run.json` — the experiment definition (instructions, seed, shards,
+//!   experiment, format, fault plan, ...), written once before the grid
+//!   starts. Runtime knobs — `--jobs`, `--retries`, `--shard-timeout`,
+//!   `--strict`, verbosity — are deliberately absent: they never change
+//!   results, so a resume may choose them anew.
+//! - `cell-<w>-<s>.json` — one full-fidelity
+//!   [`vax_analysis::CheckpointCell`] per completed `(workload, shard)`
+//!   cell, written atomically the moment the cell finishes.
+//!
+//! `reproduce resume DIR` reconstructs the run options from `run.json`,
+//! loads every parseable cell, re-runs only the missing ones (same shard
+//! seeds ⇒ same results), and re-exports. Because the reduction is keyed
+//! by grid index and every writer is atomic, the resumed export is
+//! byte-identical to an uninterrupted run no matter when the original
+//! process died.
+
+use std::path::{Path, PathBuf};
+
+use vax780::FaultClass;
+use vax_analysis::{cell_from_json, CheckpointCell, Json};
+use vax_workload::Workload;
+
+use crate::cli::{Format, Options, ResumeOptions, EXPERIMENTS};
+use crate::progress::Progress;
+
+/// Format version of the run header; bump on any schema change so a resume
+/// never reinterprets an older run's definition.
+pub const HEADER_FORMAT_VERSION: i64 = 1;
+
+/// The checkpoint directory of a run exporting to `out`.
+pub fn checkpoints_dir(out: &Path) -> PathBuf {
+    out.join("checkpoints")
+}
+
+/// Path of the run-definition header.
+pub fn header_path(out: &Path) -> PathBuf {
+    checkpoints_dir(out).join("run.json")
+}
+
+/// Path of one cell's checkpoint.
+pub fn cell_path(out: &Path, workload: u64, shard: u64) -> PathBuf {
+    checkpoints_dir(out).join(format!("cell-{workload}-{shard}.json"))
+}
+
+/// Serialize the experiment definition of `opts` (runtime knobs excluded).
+pub fn header_json(opts: &Options) -> Json {
+    Json::obj([
+        ("format_version", Json::Int(HEADER_FORMAT_VERSION)),
+        ("instructions", Json::from(opts.instructions)),
+        ("seed", Json::from(opts.seed)),
+        ("shards", Json::from(opts.shards)),
+        ("experiment", Json::Str(opts.experiment.clone())),
+        (
+            "format",
+            Json::Str(
+                match opts.format {
+                    Format::Text => "text",
+                    Format::Json => "json",
+                }
+                .to_string(),
+            ),
+        ),
+        ("interval_cycles", Json::from(opts.interval_cycles)),
+        ("per_workload", Json::Bool(opts.per_workload)),
+        ("profile", Json::Bool(opts.profile)),
+        ("top", Json::from(opts.top as u64)),
+        ("flight_recorder", Json::from(opts.flight_recorder as u64)),
+        ("fault_seed", opts.fault_seed.map_or(Json::Null, Json::from)),
+        (
+            "fault_classes",
+            Json::arr(
+                opts.fault_classes
+                    .iter()
+                    .map(|c| Json::Str(c.name().to_string())),
+            ),
+        ),
+    ])
+}
+
+/// Reconstruct run options from a header, taking runtime knobs (and the
+/// output directory) from the resume invocation.
+///
+/// # Errors
+/// Any structural defect in the header — wrong version, missing or
+/// mistyped field, unknown experiment or fault class — is an error: a
+/// resume must never guess at the experiment definition.
+pub fn options_from_header(text: &str, resume: &ResumeOptions) -> Result<Options, String> {
+    let j = Json::parse(text).map_err(|e| format!("checkpoint header: {e}"))?;
+    let int = |key: &str| -> Result<u64, String> {
+        j.get(key)
+            .and_then(Json::as_i64)
+            .and_then(|v| u64::try_from(v).ok())
+            .ok_or_else(|| format!("checkpoint header: missing integer '{key}'"))
+    };
+    let flag = |key: &str| -> Result<bool, String> {
+        match j.get(key) {
+            Some(Json::Bool(b)) => Ok(*b),
+            _ => Err(format!("checkpoint header: missing boolean '{key}'")),
+        }
+    };
+
+    let version = j
+        .get("format_version")
+        .and_then(Json::as_i64)
+        .ok_or("checkpoint header: missing 'format_version'")?;
+    if version != HEADER_FORMAT_VERSION {
+        return Err(format!(
+            "checkpoint header: format_version {version} \
+             (this binary writes {HEADER_FORMAT_VERSION})"
+        ));
+    }
+
+    let experiment = j
+        .get("experiment")
+        .and_then(Json::as_str)
+        .ok_or("checkpoint header: missing string 'experiment'")?;
+    if !EXPERIMENTS.contains(&experiment) {
+        return Err(format!(
+            "checkpoint header: unknown experiment '{experiment}'"
+        ));
+    }
+    let format = match j.get("format").and_then(Json::as_str) {
+        Some("text") => Format::Text,
+        Some("json") => Format::Json,
+        _ => return Err("checkpoint header: 'format' must be text|json".to_string()),
+    };
+    let fault_seed = match j.get("fault_seed") {
+        Some(Json::Null) => None,
+        Some(v) => Some(
+            v.as_i64()
+                .and_then(|v| u64::try_from(v).ok())
+                .ok_or("checkpoint header: 'fault_seed' is not a u64")?,
+        ),
+        None => return Err("checkpoint header: missing 'fault_seed'".to_string()),
+    };
+    let mut fault_classes = Vec::new();
+    for c in j
+        .get("fault_classes")
+        .and_then(Json::as_arr)
+        .ok_or("checkpoint header: missing 'fault_classes' array")?
+    {
+        let name = c
+            .as_str()
+            .ok_or("checkpoint header: fault class is not a string")?;
+        fault_classes.push(FaultClass::parse(name).map_err(|e| format!("checkpoint header: {e}"))?);
+    }
+
+    let shards = int("shards")?;
+    if shards == 0 {
+        return Err("checkpoint header: 'shards' must be at least 1".to_string());
+    }
+    let instructions = int("instructions")?;
+    if instructions == 0 {
+        return Err("checkpoint header: 'instructions' must be at least 1".to_string());
+    }
+
+    Ok(Options {
+        instructions,
+        seed: int("seed")?,
+        jobs: resume.jobs,
+        shards,
+        experiment: experiment.to_string(),
+        per_workload: flag("per_workload")?,
+        format,
+        out: Some(resume.dir.clone()),
+        interval_cycles: int("interval_cycles")?.max(1),
+        profile: flag("profile")?,
+        top: int("top")?.max(1) as usize,
+        flight_recorder: int("flight_recorder")? as usize,
+        verbosity: resume.verbosity,
+        bench_out: None,
+        fault_seed,
+        fault_classes,
+        retries: resume.retries,
+        shard_timeout_secs: resume.shard_timeout_secs,
+        strict: resume.strict,
+        inject_panic: None,
+    })
+}
+
+/// Load every parseable cell checkpoint of the `Workload::ALL.len() ×
+/// shards` grid, in grid-index order. A missing or corrupt checkpoint is
+/// `None` (the cell will be re-run); a corrupt one is also warned about,
+/// since it means the journal was damaged rather than merely incomplete.
+pub fn load_cells(out: &Path, shards: u64, progress: &Progress) -> Vec<Option<CheckpointCell>> {
+    let mut cells = Vec::with_capacity(Workload::ALL.len() * shards as usize);
+    for w in 0..Workload::ALL.len() as u64 {
+        for s in 0..shards {
+            let path = cell_path(out, w, s);
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(_) => {
+                    cells.push(None);
+                    continue;
+                }
+            };
+            let cell = Json::parse(&text)
+                .and_then(|j| cell_from_json(&j))
+                .and_then(|c| {
+                    if c.workload == w && c.shard == s {
+                        Ok(c)
+                    } else {
+                        Err(format!(
+                            "cell indices ({}, {}) disagree with file name",
+                            c.workload, c.shard
+                        ))
+                    }
+                });
+            match cell {
+                Ok(c) => cells.push(Some(c)),
+                Err(e) => {
+                    progress.warn(&format!(
+                        "discarding corrupt checkpoint {}: {e}",
+                        path.display()
+                    ));
+                    cells.push(None);
+                }
+            }
+        }
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::progress::Verbosity;
+
+    fn resume_opts(dir: &str) -> ResumeOptions {
+        ResumeOptions {
+            dir: PathBuf::from(dir),
+            jobs: 3,
+            retries: 2,
+            shard_timeout_secs: Some(9.0),
+            strict: true,
+            verbosity: Verbosity::Quiet,
+        }
+    }
+
+    #[test]
+    fn header_round_trips_the_experiment_definition() {
+        let mut opts = Options {
+            instructions: 123_456,
+            seed: 99,
+            shards: 4,
+            experiment: "table8".to_string(),
+            format: Format::Json,
+            interval_cycles: 7_000,
+            per_workload: true,
+            profile: true,
+            top: 11,
+            flight_recorder: 64,
+            fault_seed: Some(42),
+            fault_classes: vec![FaultClass::Parity, FaultClass::Smc],
+            ..Options::default()
+        };
+        let text = header_json(&opts).to_string_pretty();
+        let back = options_from_header(&text, &resume_opts("/tmp/run")).unwrap();
+
+        // The experiment definition survives...
+        assert_eq!(back.instructions, opts.instructions);
+        assert_eq!(back.seed, opts.seed);
+        assert_eq!(back.shards, opts.shards);
+        assert_eq!(back.experiment, opts.experiment);
+        assert_eq!(back.format, opts.format);
+        assert_eq!(back.interval_cycles, opts.interval_cycles);
+        assert_eq!(back.per_workload, opts.per_workload);
+        assert_eq!(back.profile, opts.profile);
+        assert_eq!(back.top, opts.top);
+        assert_eq!(back.flight_recorder, opts.flight_recorder);
+        assert_eq!(back.fault_seed, opts.fault_seed);
+        assert_eq!(back.fault_classes, opts.fault_classes);
+        // ...while runtime knobs come from the resume invocation.
+        assert_eq!(back.jobs, 3);
+        assert_eq!(back.retries, 2);
+        assert_eq!(back.shard_timeout_secs, Some(9.0));
+        assert!(back.strict);
+        assert_eq!(back.out.as_deref(), Some(Path::new("/tmp/run")));
+        assert!(back.inject_panic.is_none());
+
+        // A header never pins runtime knobs: regenerating it from the
+        // resumed options produces the same bytes.
+        opts.jobs = back.jobs;
+        opts.retries = back.retries;
+        opts.shard_timeout_secs = back.shard_timeout_secs;
+        opts.strict = back.strict;
+        opts.verbosity = back.verbosity;
+        opts.out = back.out.clone();
+        assert_eq!(header_json(&back).to_string_pretty(), text);
+    }
+
+    #[test]
+    fn header_without_faults_round_trips_null() {
+        let text = header_json(&Options::default()).to_string_pretty();
+        assert!(text.contains("\"fault_seed\": null"), "{text}");
+        let back = options_from_header(&text, &resume_opts("/x")).unwrap();
+        assert!(back.fault_seed.is_none());
+        assert!(back.fault_classes.is_empty());
+    }
+
+    #[test]
+    fn rejects_damaged_headers() {
+        let good = header_json(&Options::default()).to_string_pretty();
+        for (from, to, expect) in [
+            (
+                "\"format_version\": 1",
+                "\"format_version\": 99",
+                "format_version",
+            ),
+            (
+                "\"experiment\": \"all\"",
+                "\"experiment\": \"table99\"",
+                "unknown experiment",
+            ),
+            ("\"format\": \"text\"", "\"format\": \"xml\"", "text|json"),
+            ("\"shards\": 1", "\"shards\": 0", "at least 1"),
+            ("\"seed\": 1984", "\"seed\": \"x\"", "seed"),
+        ] {
+            let text = good.replacen(from, to, 1);
+            assert_ne!(text, good, "replacement '{from}' missed");
+            let err = options_from_header(&text, &resume_opts("/x")).unwrap_err();
+            assert!(err.contains(expect), "{err}");
+        }
+        assert!(options_from_header("{", &resume_opts("/x")).is_err());
+        assert!(options_from_header("[]", &resume_opts("/x")).is_err());
+    }
+}

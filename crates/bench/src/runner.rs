@@ -4,30 +4,37 @@
 //!
 //! The run is a grid of independent shard jobs — one per `(workload,
 //! shard)` cell, seeded by `vax_workload::rte::shard_seed` — executed on a
-//! [`crate::pool`] of worker threads. Each worker builds its own simulated
-//! system (the systems are `!Send`; only job descriptions and results
-//! cross threads) and measures it; the parent then reduces the results in
-//! `(workload, shard)` index order: measurements through
+//! [`crate::pool`] of supervised worker threads. Each worker builds its
+//! own simulated system (the systems are `!Send`; only job descriptions
+//! and results cross threads) and measures it; the parent then reduces the
+//! results in `(workload, shard)` index order: measurements through
 //! [`vax780::merge_ordered`], interval samples through
 //! [`TimeSeries::splice`]. Because the reduction order is fixed by index
 //! and never by completion order, a run's output is byte-identical at any
 //! `--jobs` count — `--jobs` buys wall-clock time, not different numbers.
 //!
-//! A panicking shard does not hang the pool: the pool hands back which job
-//! died, the parent dumps that shard's flight recording (when armed) so
-//! the crash comes with its instruction-level backtrace, and the original
-//! panic resumes.
+//! Supervision: a shard attempt that panics (or trips its `--shard-timeout`
+//! watchdog) is retried up to `--retries` times on a fresh system built
+//! from the same shard seed, so a retried success is byte-identical to a
+//! first-attempt success. A cell that exhausts its retries is quarantined —
+//! its flight recording is dumped (when armed), the run is marked degraded,
+//! and the remaining cells still merge into a partial result.
+//!
+//! Crash safety: with `--out DIR` every completed cell is journaled
+//! atomically to `DIR/checkpoints/` (see [`crate::resume`]), and
+//! [`resume_composite`] finishes an interrupted run by re-running only the
+//! missing cells.
 
-use std::panic::resume_unwind;
-
-use vax780::{merge_ordered, Measurement, TimeSeries};
-use vax_analysis::{validate, Analysis, ValidationReport};
-use vax_cpu::{ControlStore, SharedFlightRecorder};
+use vax780::{merge_ordered, FaultPlan, Measurement, TimeSeries};
+use vax_analysis::{validate, Analysis, CheckpointCell, ValidationReport};
+use vax_cpu::{ControlStore, CpuConfig, SharedFlightRecorder};
 use vax_workload::Workload;
 
-use crate::cli::Options;
-use crate::pool::{panic_message, run_jobs};
+use crate::cli::{Options, ResumeOptions};
+use crate::fsio::write_atomic;
+use crate::pool::{panic_message, run_supervised};
 use crate::progress::Progress;
+use crate::resume::{cell_path, checkpoints_dir, header_json, header_path, load_cells};
 
 /// Everything a composite run produces, ready for rendering or export.
 #[derive(Debug)]
@@ -48,6 +55,11 @@ pub struct RunOutput {
     pub per_workload: Vec<(Workload, f64)>,
     /// Conservation-check failure message, if the reduction lost cycles.
     pub conservation_err: Option<String>,
+    /// True when at least one cell exhausted its retries; the merged
+    /// results above then cover only the surviving cells.
+    pub degraded: bool,
+    /// The quarantined `(workload, shard)` cells, in grid order.
+    pub failed_cells: Vec<(Workload, u64)>,
 }
 
 /// One cell of the run grid: workload `workload_index`, replica `shard`.
@@ -56,18 +68,15 @@ struct ShardJob {
     workload_index: u64,
     shard: u64,
     /// This shard's flight recorder (disabled unless `--flight-recorder`);
-    /// the parent keeps the handle so a worker panic can be dumped with
-    /// the right shard's instruction history.
+    /// the parent keeps the handle so a quarantined cell can be dumped
+    /// with the right shard's instruction history.
     recorder: SharedFlightRecorder,
 }
 
 /// What a shard sends back across the thread boundary.
-struct ShardResult {
+struct CellData {
     m: Measurement,
     series: TimeSeries,
-    /// Control-store layout, captured by the first grid cell only (every
-    /// system shares the same microcode image).
-    cs: Option<ControlStore>,
 }
 
 /// Run the workload × shard grid described by `opts`.
@@ -77,83 +86,208 @@ struct ShardResult {
 /// `SeedStream::new(seed).stream(w).stream(s)`. Up to `opts.jobs` shards
 /// run concurrently; results are reduced in grid-index order so the output
 /// does not depend on `opts.jobs`. When `opts.flight_recorder > 0` every
-/// shard gets its own recorder of that capacity, and a shard panic dumps
-/// that shard's last K retired instructions to stderr before propagating.
+/// shard gets its own recorder of that capacity. When `opts.out` is set the
+/// run journals checkpoints for [`resume_composite`]; any stale journal in
+/// that directory is cleared first.
 ///
 /// # Panics
 /// Panics if `opts.jobs == 0` or `opts.shards == 0` (the CLI rejects both
-/// up front), or by resuming a worker's panic.
+/// up front). A worker panic no longer propagates — it is retried and, on
+/// exhaustion, quarantined into [`RunOutput::failed_cells`].
 pub fn run_composite(opts: &Options, progress: &Progress) -> RunOutput {
     assert!(opts.shards > 0, "run_composite: shards must be at least 1");
+    // A fresh run must not inherit cells journaled by an earlier run in
+    // the same directory (a previous grid may have been larger, and its
+    // leftover cells would satisfy a later resume with foreign data).
+    if let Some(out) = &opts.out {
+        let _ = std::fs::remove_dir_all(checkpoints_dir(out));
+    }
+    let cells = vec![None; Workload::ALL.len() * opts.shards as usize];
+    run_grid(opts, progress, cells)
+}
+
+/// Finish the interrupted run journaled under `resume.dir`: reconstruct
+/// the experiment definition from the checkpoint header, load every
+/// parseable cell, and run only the missing ones. Returns the
+/// reconstructed options (the caller renders/exports with them, exactly as
+/// it would for a fresh run) alongside the output.
+///
+/// # Errors
+/// Returns a message when the header is missing or damaged — without it
+/// the experiment definition would be guesswork.
+pub fn resume_composite(
+    resume: &ResumeOptions,
+    progress: &Progress,
+) -> Result<(Options, RunOutput), String> {
+    let path = header_path(&resume.dir);
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "cannot read checkpoint header {}: {e} (was the run started with --out?)",
+            path.display()
+        )
+    })?;
+    let opts = crate::resume::options_from_header(&text, resume)?;
+    let cells = load_cells(&resume.dir, opts.shards, progress);
+    let done = cells.iter().filter(|c| c.is_some()).count();
+    progress.info(&format!(
+        "resuming from {}: {done}/{} cells checkpointed",
+        resume.dir.display(),
+        cells.len()
+    ));
+    let out = run_grid(&opts, progress, cells);
+    Ok((opts, out))
+}
+
+/// Shared grid engine: run every cell not already `preloaded`, then reduce.
+fn run_grid(
+    opts: &Options,
+    progress: &Progress,
+    preloaded: Vec<Option<CheckpointCell>>,
+) -> RunOutput {
     let instructions = opts.instructions;
     let seed = opts.seed;
     let shards = opts.shards as usize;
+    assert_eq!(preloaded.len(), Workload::ALL.len() * shards);
     progress.info(&format!(
         "running 5 workloads x {shards} shard(s) x {instructions} instructions \
          (seed {seed}, {} job(s)) ...",
         opts.jobs
     ));
+    if let Some(fault_seed) = opts.fault_seed {
+        let classes: Vec<&str> = opts.fault_classes.iter().map(|c| c.name()).collect();
+        progress.info(&format!(
+            "injecting faults: seed {fault_seed}, classes [{}]",
+            classes.join(", ")
+        ));
+    }
 
-    let grid: Vec<ShardJob> = Workload::ALL
-        .iter()
-        .enumerate()
-        .flat_map(|(w, &workload)| {
-            (0..opts.shards).map(move |shard| ShardJob {
-                workload,
-                workload_index: w as u64,
-                shard,
-                recorder: SharedFlightRecorder::with_capacity(opts.flight_recorder),
+    // Journal setup: header first (atomically), cells as they complete.
+    // A journaling failure degrades to a non-resumable run, never a
+    // failed one.
+    let journal = opts.out.as_ref().and_then(|out| {
+        std::fs::create_dir_all(checkpoints_dir(out))
+            .and_then(|()| write_atomic(&header_path(out), &header_json(opts).to_string_pretty()))
+            .map_err(|e| progress.warn(&format!("checkpoint journal disabled: {e}")))
+            .ok()
+            .map(|()| out.clone())
+    });
+
+    let mut slots: Vec<Option<CellData>> = preloaded
+        .into_iter()
+        .map(|c| {
+            c.map(|c| CellData {
+                m: c.m,
+                series: c.series,
             })
         })
         .collect();
 
-    let results = run_jobs(opts.jobs, &grid, |_, job: &ShardJob| {
-        let mut system =
-            vax_workload::rte::build_shard(job.workload, job.workload_index, job.shard, seed);
-        if job.recorder.is_enabled() {
-            system.cpu.flight = job.recorder.clone();
-        }
-        let (m, series) =
-            system.measure_sampled(instructions / 10, instructions, opts.interval_cycles);
-        progress.debug(&format!(
-            "  {} shard {}: {} cycles, {} interval samples",
-            job.workload.name(),
-            job.shard,
-            m.cycles,
-            series.samples.len()
-        ));
-        let cs = (job.workload_index == 0 && job.shard == 0).then(|| system.cpu.cs.clone());
-        ShardResult { m, series, cs }
-    });
+    let todo: Vec<ShardJob> = Workload::ALL
+        .iter()
+        .enumerate()
+        .flat_map(|(w, &workload)| (0..opts.shards).map(move |shard| (w, workload, shard)))
+        .filter(|&(w, _, shard)| slots[w * shards + shard as usize].is_none())
+        .map(|(w, workload, shard)| ShardJob {
+            workload,
+            workload_index: w as u64,
+            shard,
+            recorder: SharedFlightRecorder::with_capacity(opts.flight_recorder),
+        })
+        .collect();
 
-    let mut results = match results {
-        Ok(r) => r,
-        Err(p) => {
-            let job = &grid[p.index];
-            progress.warn(&format!(
-                "{} shard {} panicked: {}",
+    let outcome = run_supervised(
+        opts.jobs,
+        &todo,
+        opts.retries,
+        |_, job: &ShardJob, attempt| {
+            if let Some((w, s, n)) = opts.inject_panic {
+                if job.workload_index == w && job.shard == s && attempt < n {
+                    panic!("injected panic (attempt {attempt})");
+                }
+            }
+            let mut system =
+                vax_workload::rte::build_shard(job.workload, job.workload_index, job.shard, seed);
+            if job.recorder.is_enabled() {
+                system.cpu.flight = job.recorder.clone();
+            }
+            if let Some(fault_seed) = opts.fault_seed {
+                system.install_fault_plan(FaultPlan::generate(
+                    fault_seed,
+                    job.workload_index as usize,
+                    job.shard as usize,
+                    instructions,
+                    &opts.fault_classes,
+                ));
+            }
+            if let Some(secs) = opts.shard_timeout_secs {
+                system.set_deadline(Some(
+                    std::time::Instant::now() + std::time::Duration::from_secs_f64(secs),
+                ));
+            }
+            let (m, series) =
+                system.measure_sampled(instructions / 10, instructions, opts.interval_cycles);
+            progress.debug(&format!(
+                "  {} shard {}: {} cycles, {} interval samples",
                 job.workload.name(),
                 job.shard,
-                panic_message(&p.payload)
+                m.cycles,
+                series.samples.len()
             ));
-            if job.recorder.is_enabled() && !job.recorder.is_empty() {
-                job.recorder.dump_stderr();
+            if let Some(out) = &journal {
+                let cell = CheckpointCell {
+                    workload: job.workload_index,
+                    shard: job.shard,
+                    m,
+                    series,
+                };
+                let path = cell_path(out, cell.workload, cell.shard);
+                if let Err(e) =
+                    write_atomic(&path, &vax_analysis::cell_to_json(&cell).to_string_pretty())
+                {
+                    progress.warn(&format!("checkpoint {} not written: {e}", path.display()));
+                }
+                CellData {
+                    m: cell.m,
+                    series: cell.series,
+                }
+            } else {
+                CellData { m, series }
             }
-            resume_unwind(p.payload);
+        },
+    );
+
+    let mut failed_cells: Vec<(Workload, u64)> = Vec::new();
+    for f in &outcome.failures {
+        let job = &todo[f.index];
+        progress.warn(&format!(
+            "{} shard {} quarantined after {} attempt(s): {}",
+            job.workload.name(),
+            job.shard,
+            f.attempts,
+            panic_message(&f.payload)
+        ));
+        if job.recorder.is_enabled() && !job.recorder.is_empty() {
+            job.recorder.dump_stderr();
         }
-    };
+        failed_cells.push((job.workload, job.shard));
+    }
+    for (job, result) in todo.iter().zip(outcome.slots) {
+        let slot = job.workload_index as usize * shards + job.shard as usize;
+        slots[slot] = result;
+    }
 
     // Deterministic reduction: grid-index order, regardless of which
-    // worker finished when.
-    let cs = results[0].cs.take().expect("first grid cell captures cs");
+    // worker finished when. Quarantined cells are simply absent — the
+    // composite covers whatever survived.
+    let cs = ControlStore::new(&CpuConfig::default());
     let mut per: Vec<(Workload, f64)> = Vec::new();
     let mut composite = Measurement::default();
     let mut series = TimeSeries::default();
     let mut cycle_offset = 0u64;
     for (w, &workload) in Workload::ALL.iter().enumerate() {
-        let cells = &results[w * shards..(w + 1) * shards];
-        let merged: Measurement = merge_ordered(cells.iter().map(|r| &r.m));
-        for r in cells {
+        let cells = &slots[w * shards..(w + 1) * shards];
+        let merged: Measurement = merge_ordered(cells.iter().flatten().map(|r| &r.m));
+        for r in cells.iter().flatten() {
             // Advance by the shard's measured cycles, not the last sample
             // boundary: a measurement whose tail produced no sample still
             // occupies its cycles on the composite timeline.
@@ -188,5 +322,7 @@ pub fn run_composite(opts: &Options, progress: &Progress) -> RunOutput {
         validation,
         per_workload: per,
         conservation_err,
+        degraded: !failed_cells.is_empty(),
+        failed_cells,
     }
 }

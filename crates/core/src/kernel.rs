@@ -61,6 +61,10 @@ pub struct KernelEntries {
     pub softint_isr: u32,
     /// CHMK dispatcher (SCB slot 0).
     pub chmk_handler: u32,
+    /// Machine-check service routine (SCB slot 3).
+    pub mchk_isr: u32,
+    /// External-device interrupt service routine (SCB slot 4).
+    pub device_isr: u32,
 }
 
 /// Generate the kernel image at `origin` (a system virtual address) for
@@ -202,6 +206,22 @@ pub fn build(origin: u32, pcb_vas: &[u32], config: KernelConfig) -> (Image, Kern
     a.insn(Opcode::Svpctx, &[], None);
     a.insn(Opcode::Brb, &[], Some("resched"));
 
+    // ---- machine-check ISR: log the error summary and dismiss ----
+    // (Placed after all short branches: these ISRs are entered only
+    // through the SCB, so their position cannot stretch a BRB.)
+    a.label("mchk_isr");
+    a.insn(Opcode::Pushr, &[Lit(0b11)], None);
+    a.insn(Opcode::Incl, &[Label("mchk_count".into())], None);
+    a.insn(Opcode::Popr, &[Lit(0b11)], None);
+    a.insn(Opcode::Rei, &[], None);
+
+    // ---- external-device ISR: acknowledge and dismiss ----
+    a.label("device_isr");
+    a.insn(Opcode::Pushr, &[Lit(0b11)], None);
+    a.insn(Opcode::Incl, &[Label("device_count".into())], None);
+    a.insn(Opcode::Popr, &[Lit(0b11)], None);
+    a.insn(Opcode::Rei, &[], None);
+
     // ---- kernel data ----
     a.align(4);
     a.label("tick_count");
@@ -213,6 +233,10 @@ pub fn build(origin: u32, pcb_vas: &[u32], config: KernelConfig) -> (Image, Kern
     a.label("cur_proc");
     a.long(0);
     a.label("soft_work");
+    a.long(0);
+    a.label("mchk_count");
+    a.long(0);
+    a.label("device_count");
     a.long(0);
     a.label("nproc");
     a.long(pcb_vas.len() as u32);
@@ -241,6 +265,8 @@ pub fn build(origin: u32, pcb_vas: &[u32], config: KernelConfig) -> (Image, Kern
         timer_isr: image.addr_of("timer_isr"),
         softint_isr: image.addr_of("softint_isr"),
         chmk_handler: image.addr_of("chmk_handler"),
+        mchk_isr: image.addr_of("mchk_isr"),
+        device_isr: image.addr_of("device_isr"),
     };
     (image, entries)
 }

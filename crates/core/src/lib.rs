@@ -27,12 +27,14 @@
 //! system.run_instructions(10_000);
 //! ```
 
+pub mod faults;
 pub mod kernel;
 pub mod measurement;
 pub mod merge;
 pub mod sampler;
 pub mod system;
 
+pub use faults::{parse_classes, FaultClass, FaultEvent, FaultKind, FaultPlan, WatchdogExpired};
 pub use kernel::KernelConfig;
 pub use measurement::Measurement;
 pub use merge::{merge_ordered, Mergeable};

@@ -199,7 +199,10 @@ impl TimeSeries {
             };
             let start_cycle = int(0)?;
             let end_cycle = int(1)?;
-            if int(2)? != end_cycle.saturating_sub(start_cycle) {
+            if end_cycle < start_cycle {
+                return Err(format!("line {row}: end_cycle precedes start_cycle"));
+            }
+            if int(2)? != end_cycle - start_cycle {
                 return Err(format!("line {row}: cycles column disagrees with bounds"));
             }
             let mut delta = Measurement {

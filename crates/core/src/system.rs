@@ -3,11 +3,12 @@
 
 use vax_arch::Psl;
 use vax_asm::Image;
-use vax_cpu::ebox::{VEC_CHMK, VEC_SOFT, VEC_TIMER};
+use vax_cpu::ebox::{DEVICE_IPL, VEC_CHMK, VEC_DEVICE, VEC_MCHK, VEC_SOFT, VEC_TIMER};
 use vax_cpu::{Cpu, CpuConfig, StepOutcome};
 use vax_mem::addr::PAGE_SIZE;
 use vax_mem::{MemConfig, MemorySystem, PageTables, PhysAddr, Pte, VirtAddr};
 
+use crate::faults::{FaultKind, FaultPlan, WatchdogExpired};
 use crate::kernel::{self, KernelConfig, KernelEntries};
 use crate::measurement::Measurement;
 use crate::sampler::{IntervalSample, TimeSeries};
@@ -186,6 +187,8 @@ impl SystemBuilder {
         self.poke(scb.add(VEC_CHMK * 4), &entries.chmk_handler.to_le_bytes());
         self.poke(scb.add(VEC_TIMER * 4), &entries.timer_isr.to_le_bytes());
         self.poke(scb.add(VEC_SOFT * 4), &entries.softint_isr.to_le_bytes());
+        self.poke(scb.add(VEC_MCHK * 4), &entries.mchk_isr.to_le_bytes());
+        self.poke(scb.add(VEC_DEVICE * 4), &entries.device_isr.to_le_bytes());
 
         let mut cpu = Cpu::new(self.config.cpu, self.mem);
         cpu.regs[14] = kstack_top;
@@ -196,6 +199,9 @@ impl SystemBuilder {
             cpu,
             nproc: processes.len(),
             entries,
+            faults: FaultPlan::none(),
+            deadline: None,
+            watchdog_countdown: WATCHDOG_STRIDE,
         }
     }
 
@@ -253,6 +259,11 @@ impl SystemBuilder {
     }
 }
 
+/// How many steps pass between watchdog deadline checks. `Instant::now()`
+/// is far too expensive per step; at ~3M simulated instructions/s this
+/// stride still bounds overrun detection to well under a millisecond.
+const WATCHDOG_STRIDE: u32 = 2048;
+
 /// A booted machine.
 #[derive(Debug)]
 pub struct System {
@@ -262,9 +273,82 @@ pub struct System {
     pub nproc: usize,
     /// Kernel entry points.
     pub entries: KernelEntries,
+    /// Scheduled fault injections for the measured interval.
+    faults: FaultPlan,
+    /// Cooperative watchdog deadline; the run loops panic with
+    /// [`WatchdogExpired`] when it passes.
+    deadline: Option<std::time::Instant>,
+    watchdog_countdown: u32,
 }
 
 impl System {
+    /// Install a fault plan. Events fire between instructions of the next
+    /// *measured* interval, keyed by the measured-instruction count (the
+    /// warm-up is never perturbed).
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    /// Arm (or disarm, with `None`) the cooperative watchdog. When the
+    /// deadline passes, the run loops panic with [`WatchdogExpired`];
+    /// the pool supervisor catches it and classifies the shard as timed
+    /// out. Checked every [`WATCHDOG_STRIDE`] steps.
+    pub fn set_deadline(&mut self, deadline: Option<std::time::Instant>) {
+        self.deadline = deadline;
+        self.watchdog_countdown = WATCHDOG_STRIDE;
+    }
+
+    #[inline]
+    fn check_watchdog(&mut self) {
+        self.watchdog_countdown -= 1;
+        if self.watchdog_countdown == 0 {
+            self.watchdog_countdown = WATCHDOG_STRIDE;
+            if let Some(d) = self.deadline {
+                if std::time::Instant::now() >= d {
+                    std::panic::panic_any(WatchdogExpired);
+                }
+            }
+        }
+    }
+
+    /// Fire every fault due at the current measured-instruction count.
+    #[inline]
+    fn poll_faults(&mut self) {
+        while let Some(ev) = self.faults.peek() {
+            if ev.at_instruction > self.cpu.stats.instructions {
+                break;
+            }
+            self.faults.advance();
+            self.apply_fault(ev.kind);
+        }
+    }
+
+    fn apply_fault(&mut self, kind: FaultKind) {
+        match kind {
+            FaultKind::Parity => self.cpu.mem.inject_parity_fault(),
+            FaultKind::TbInvalidate => {
+                // What a guest TBIA does (see `exec`'s MTPR handling): the
+                // refills are serviced by the ordinary TB-miss microcode,
+                // counted by both instruments.
+                self.cpu.mem.tb_mut().invalidate_all();
+                self.cpu.flush_decode_cache();
+            }
+            FaultKind::DeviceInterrupt => self.cpu.post_interrupt(DEVICE_IPL, VEC_DEVICE),
+            FaultKind::SoftRequest(level) => self.cpu.request_soft_interrupt(level),
+            FaultKind::SmcWrite => {
+                // DMA-style store of a code byte's own value at the current
+                // PC: bumps the code-watch epoch (cached decodes for the
+                // line are discarded and re-decoded identically) without
+                // touching timing or counters.
+                let pc = VirtAddr(self.cpu.pc());
+                if let Ok(pa) = self.cpu.mem.raw_translate(pc) {
+                    let v = self.cpu.mem.value_read(pa, 1);
+                    self.cpu.mem.value_write(pa, 1, v);
+                }
+            }
+        }
+    }
+
     /// Run `n` instructions (interrupt dispatches count as one step).
     /// Returns `false` if the machine halted.
     pub fn run_instructions(&mut self, n: u64) -> bool {
@@ -272,6 +356,7 @@ impl System {
             if let StepOutcome::Halted = self.cpu.step() {
                 return false;
             }
+            self.check_watchdog();
         }
         true
     }
@@ -281,7 +366,13 @@ impl System {
     /// procedure. Returns the measurement.
     pub fn measure(&mut self, warmup: u64, n: u64) -> Measurement {
         let base = self.begin_measurement(warmup);
-        self.run_instructions(n);
+        for _ in 0..n {
+            if let StepOutcome::Halted = self.cpu.step() {
+                break;
+            }
+            self.check_watchdog();
+            self.poll_faults();
+        }
         self.cpu.hist.stop();
         self.snapshot(base)
     }
@@ -310,6 +401,8 @@ impl System {
             if let StepOutcome::Halted = self.cpu.step() {
                 break;
             }
+            self.check_watchdog();
+            self.poll_faults();
             // Instructions are not preemptible: the boundary is the first
             // step boundary at or past the interval mark.
             let rel = self.cpu.cycle - base;

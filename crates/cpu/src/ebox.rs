@@ -39,6 +39,17 @@ pub const VEC_CHMK: u32 = 0;
 pub const VEC_TIMER: u32 = 1;
 /// SCB slot of the software-interrupt vector.
 pub const VEC_SOFT: u32 = 2;
+/// SCB slot of the machine-check vector (latched parity faults).
+pub const VEC_MCHK: u32 = 3;
+/// SCB slot of the external-device interrupt vector (fault-injection
+/// hardware-interrupt bursts).
+pub const VEC_DEVICE: u32 = 4;
+
+/// IPL at which machine checks are delivered (above every device level).
+pub const MCHK_IPL: u8 = 30;
+/// IPL of injected device-burst interrupts: below the interval timer
+/// (`CpuConfig::timer_ipl`, 22) and above every software level.
+pub const DEVICE_IPL: u8 = 21;
 
 /// What one [`Cpu::step`] did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -130,6 +141,15 @@ impl Cpu {
     /// Post an external hardware interrupt (device model hook).
     pub fn post_interrupt(&mut self, ipl: u8, scb_slot: u32) {
         self.pending_hw = Some((ipl, scb_slot));
+    }
+
+    /// Request a software interrupt exactly as a guest MTPR to SIRR would
+    /// (fault-injection hook): the request is latched in the IPR file and
+    /// counted in `sw_interrupt_requests`, so the Table 7 request/delivery
+    /// reconciliation holds under injected bursts too.
+    pub fn request_soft_interrupt(&mut self, level: u8) {
+        self.iprs.request_soft(level);
+        self.stats.sw_interrupt_requests += 1;
     }
 
     // ---- cycle plumbing ----
@@ -534,6 +554,15 @@ impl Cpu {
                 self.next_timer = self.cycle + ti;
                 self.pending_hw = Some((self.config.timer_ipl, VEC_TIMER));
             }
+        }
+        // Machine check: a latched parity fault becomes the highest-priority
+        // hardware interrupt. The pending slot holds a single interrupt, so
+        // a machine check supersedes a not-yet-delivered timer or device
+        // interrupt — a deterministic lost-interrupt, mirroring how a real
+        // 780 error condition preempts lower-priority requests.
+        if self.mem.take_parity_fault() {
+            self.stats.machine_checks += 1;
+            self.pending_hw = Some((MCHK_IPL, VEC_MCHK));
         }
         // Interrupt delivery.
         if let Some((ipl, slot)) = self.pending_hw {

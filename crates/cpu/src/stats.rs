@@ -26,6 +26,9 @@ pub struct CpuStats {
     pub sw_interrupts: u64,
     /// Software interrupt *requests* (MTPR to SIRR).
     pub sw_interrupt_requests: u64,
+    /// Machine checks delivered (latched parity faults turned into
+    /// high-IPL interrupts through the SCB machine-check slot).
+    pub machine_checks: u64,
     /// Context switches (LDPCTX executions).
     pub context_switches: u64,
     /// Exceptions dispatched (arithmetic traps etc.).
@@ -58,6 +61,7 @@ impl CpuStats {
             hw_interrupts: 0,
             sw_interrupts: 0,
             sw_interrupt_requests: 0,
+            machine_checks: 0,
             context_switches: 0,
             exceptions: 0,
             spec1_count: 0,
@@ -120,13 +124,14 @@ impl CpuStats {
     /// shared by [`CpuStats::merge`] and [`CpuStats::diff`], so a newly
     /// added counter cannot be summed but not diffed (or vice versa). The
     /// per-opcode and per-branch-class arrays are handled alongside.
-    fn scalars(&self) -> [u64; 12] {
+    fn scalars(&self) -> [u64; 13] {
         [
             self.instructions,
             self.istream_bytes,
             self.hw_interrupts,
             self.sw_interrupts,
             self.sw_interrupt_requests,
+            self.machine_checks,
             self.context_switches,
             self.exceptions,
             self.spec1_count,
@@ -137,13 +142,14 @@ impl CpuStats {
         ]
     }
 
-    fn scalars_mut(&mut self) -> [&mut u64; 12] {
+    fn scalars_mut(&mut self) -> [&mut u64; 13] {
         [
             &mut self.instructions,
             &mut self.istream_bytes,
             &mut self.hw_interrupts,
             &mut self.sw_interrupts,
             &mut self.sw_interrupt_requests,
+            &mut self.machine_checks,
             &mut self.context_switches,
             &mut self.exceptions,
             &mut self.spec1_count,

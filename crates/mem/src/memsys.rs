@@ -103,6 +103,10 @@ pub struct MemorySystem {
     pub trace: TraceBus,
     /// Write-path watchpoints backing the CPU's decoded-instruction cache.
     code_watch: CodeWatch,
+    /// Latched SBI/memory parity fault awaiting machine-check delivery.
+    /// Set by fault injection; consumed (and cleared) by the CPU between
+    /// instructions, which turns it into a machine-check interrupt.
+    parity_latch: bool,
 }
 
 impl MemorySystem {
@@ -118,7 +122,28 @@ impl MemorySystem {
             stats: MemStats::new(),
             trace: TraceBus::detached(),
             code_watch: CodeWatch::new(config.mem_bytes),
+            parity_latch: false,
         }
+    }
+
+    // ---- parity-fault injection ----
+
+    /// Latch a simulated SBI/memory parity fault. The latch stays set until
+    /// the CPU consumes it via [`MemorySystem::take_parity_fault`] and
+    /// delivers a machine check; injecting while one is already latched is
+    /// idempotent (the 780's error-summary registers behave the same way:
+    /// a second error before service only sets a lost-error bit).
+    pub fn inject_parity_fault(&mut self) {
+        if !self.parity_latch {
+            self.stats.parity_faults += 1;
+        }
+        self.parity_latch = true;
+    }
+
+    /// Consume a latched parity fault, if any. Returns whether one was
+    /// pending; the latch is cleared either way.
+    pub fn take_parity_fault(&mut self) -> bool {
+        std::mem::take(&mut self.parity_latch)
     }
 
     /// The paper's machine.

@@ -30,6 +30,8 @@ pub struct MemStats {
     pub read_stall_cycles: u64,
     /// Total write-stall cycles suffered by the EBOX.
     pub write_stall_cycles: u64,
+    /// Injected SBI/memory parity faults latched for machine-check delivery.
+    pub parity_faults: u64,
 }
 
 impl MemStats {
@@ -55,7 +57,7 @@ impl MemStats {
 
     /// Every counter, in declaration order (the single field list shared by
     /// [`MemStats::merge`] and [`MemStats::diff`]).
-    fn fields(&self) -> [u64; 13] {
+    fn fields(&self) -> [u64; 14] {
         [
             self.d_reads,
             self.d_read_misses,
@@ -70,10 +72,11 @@ impl MemStats {
             self.pte_read_misses,
             self.read_stall_cycles,
             self.write_stall_cycles,
+            self.parity_faults,
         ]
     }
 
-    fn fields_mut(&mut self) -> [&mut u64; 13] {
+    fn fields_mut(&mut self) -> [&mut u64; 14] {
         [
             &mut self.d_reads,
             &mut self.d_read_misses,
@@ -88,6 +91,7 @@ impl MemStats {
             &mut self.pte_read_misses,
             &mut self.read_stall_cycles,
             &mut self.write_stall_cycles,
+            &mut self.parity_faults,
         ]
     }
 

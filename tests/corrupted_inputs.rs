@@ -1,0 +1,143 @@
+//! Corrupted-input suite: every import path must reject damaged data with
+//! a typed error naming the defect — never panic, never silently accept.
+//!
+//! The paths under test are the ones a crash or a truncated download can
+//! actually feed garbage into: the JSON parser behind every artifact
+//! import, the time-series CSV importer, the checkpoint cell codec, and
+//! the run-directory diff engine.
+
+use std::path::{Path, PathBuf};
+
+use vax780::TimeSeries;
+use vax_analysis::{cell_from_json, timeseries_from_json, Json, Tolerance};
+use vax_bench::diffcmd;
+
+#[test]
+fn json_parser_rejects_truncated_and_garbage_documents() {
+    for bad in [
+        "",
+        "{",
+        "{\"a\": ",
+        "{\"a\": 1,}",
+        "[1, 2",
+        "\"unterminated",
+        "nul",
+        "{\"a\" 1}",
+        "{\"a\": 1} trailing",
+        "{\"n\": 1e}",
+    ] {
+        assert!(Json::parse(bad).is_err(), "accepted '{bad}'");
+    }
+}
+
+#[test]
+fn json_parser_rejects_duplicate_keys_with_position() {
+    let err = Json::parse("{\"cycles\": 1, \"cycles\": 2}").unwrap_err();
+    assert!(err.contains("duplicate key 'cycles'"), "{err}");
+    assert!(err.contains("byte"), "carries the offset: {err}");
+    // Nested duplicates are caught too.
+    assert!(Json::parse("{\"a\": {\"b\": 1, \"b\": 2}}").is_err());
+}
+
+#[test]
+fn timeseries_csv_importer_names_the_offending_line() {
+    let header = TimeSeries::default().to_csv();
+    let header = header.trim_end();
+
+    for (body, expect) in [
+        ("1,2,3", "expected 13 fields"),
+        ("0,100,100,x,0.0,0,0,0,0,0,0,0,0", "bad integer"),
+        ("0,100,99,9,0.0,0,0,0,0,0,0,0,0", "cycles column disagrees"),
+        (
+            "100,50,0,9,0.0,0,0,0,0,0,0,0,0",
+            "end_cycle precedes start_cycle",
+        ),
+    ] {
+        let text = format!("{header}\n{body}\n");
+        let err = TimeSeries::from_csv(&text).unwrap_err();
+        assert!(err.contains(expect), "'{body}' -> {err}");
+        assert!(err.contains("line 2"), "'{body}' -> {err}");
+    }
+    assert!(TimeSeries::from_csv("not,a,header\n")
+        .unwrap_err()
+        .contains("header"));
+    assert!(TimeSeries::from_csv("").is_err());
+}
+
+#[test]
+fn timeseries_json_importer_rejects_wrong_shapes() {
+    for bad in [
+        "null",
+        "[]",
+        "{\"samples\": 3}",
+        "{\"samples\": [{\"start_cycle\": 0}]}",
+    ] {
+        let j = Json::parse(bad).unwrap();
+        assert!(timeseries_from_json(&j).is_err(), "accepted '{bad}'");
+    }
+}
+
+#[test]
+fn checkpoint_codec_rejects_structural_damage() {
+    for bad in [
+        "{}",
+        "{\"format_version\": 1}",
+        "{\"format_version\": 2, \"workload\": 0}",
+    ] {
+        let j = Json::parse(bad).unwrap();
+        assert!(cell_from_json(&j).is_err(), "accepted '{bad}'");
+    }
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("corrupt-inputs-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden-small")
+}
+
+fn copy_fixture_to(dir: &Path) {
+    for entry in std::fs::read_dir(fixture_dir()).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), dir.join(entry.file_name())).unwrap();
+    }
+}
+
+/// The per-file verdict for `name`, which must be present in the diff.
+fn report_for<'a>(diffs: &'a [diffcmd::FileDiff], name: &str) -> &'a diffcmd::FileDiff {
+    diffs.iter().find(|d| d.file == name).unwrap()
+}
+
+#[test]
+fn diff_engine_reports_truncated_artifacts_instead_of_panicking() {
+    let dir = scratch("truncated");
+    copy_fixture_to(&dir);
+    let manifest = dir.join("manifest.json");
+    let text = std::fs::read_to_string(&manifest).unwrap();
+    std::fs::write(&manifest, &text[..text.len() / 2]).unwrap();
+
+    let diffs = diffcmd::diff_run_dirs(&fixture_dir(), &dir, &Tolerance::exact()).unwrap();
+    let d = report_for(&diffs, "manifest.json");
+    let err = d.report.as_ref().unwrap_err();
+    assert!(err.contains("manifest.json"), "{err}");
+    assert!(!d.is_clean(), "a torn artifact must fail the gate");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn diff_engine_reports_missing_artifacts_instead_of_panicking() {
+    let dir = scratch("missing");
+    copy_fixture_to(&dir);
+    std::fs::remove_file(dir.join("measurement.json")).unwrap();
+
+    let diffs = diffcmd::diff_run_dirs(&fixture_dir(), &dir, &Tolerance::exact()).unwrap();
+    let d = report_for(&diffs, "measurement.json");
+    let err = d.report.as_ref().unwrap_err();
+    assert!(err.contains("missing in candidate"), "{err}");
+    assert!(!d.is_clean(), "a missing artifact must fail the gate");
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -128,6 +128,18 @@ fn committed_fixture_matches_a_fresh_run() {
         interval_cycles: opts.interval_cycles,
         shards: opts.shards,
         config: "default VAX-11/780 configuration, 5-workload composite".to_string(),
+        fault_seed: opts.fault_seed,
+        fault_classes: opts
+            .fault_classes
+            .iter()
+            .map(|c| c.name().to_string())
+            .collect(),
+        degraded: out.degraded,
+        failed_cells: out
+            .failed_cells
+            .iter()
+            .map(|(w, s)| (w.name().to_string(), *s))
+            .collect(),
     };
     let dir = scratch_dir("fresh");
     for (name, body) in

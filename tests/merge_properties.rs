@@ -38,6 +38,7 @@ fn rand_cpu(rng: &mut StdRng) -> CpuStats {
     c.hw_interrupts = rng.gen_range(0u64..1 << 20);
     c.sw_interrupts = rng.gen_range(0u64..1 << 20);
     c.sw_interrupt_requests = rng.gen_range(0u64..1 << 20);
+    c.machine_checks = rng.gen_range(0u64..1 << 20);
     c.context_switches = rng.gen_range(0u64..1 << 20);
     c.exceptions = rng.gen_range(0u64..1 << 20);
     c.spec1_count = rng.gen_range(0u64..1 << 30);
@@ -71,6 +72,7 @@ fn rand_mem(rng: &mut StdRng) -> MemStats {
         pte_read_misses: rng.gen_range(0u64..1 << 20),
         read_stall_cycles: rng.gen_range(0u64..1 << 40),
         write_stall_cycles: rng.gen_range(0u64..1 << 40),
+        parity_faults: rng.gen_range(0u64..1 << 20),
     }
 }
 

@@ -26,6 +26,18 @@ fn run_with_jobs(jobs: usize, shards: u64) -> (RunOutput, Vec<(&'static str, Str
         interval_cycles: opts.interval_cycles,
         shards: opts.shards,
         config: "default VAX-11/780 configuration, 5-workload composite".to_string(),
+        fault_seed: opts.fault_seed,
+        fault_classes: opts
+            .fault_classes
+            .iter()
+            .map(|c| c.name().to_string())
+            .collect(),
+        degraded: out.degraded,
+        failed_cells: out
+            .failed_cells
+            .iter()
+            .map(|(w, s)| (w.name().to_string(), *s))
+            .collect(),
     };
     let files = vax_analysis::run_artifacts(&manifest, &out.analysis, &out.series, &out.validation);
     (out, files)
