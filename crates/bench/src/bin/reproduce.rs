@@ -42,15 +42,18 @@
 //! failures; `resume` finishes an interrupted `--out` run from its
 //! checkpoints. See `docs/ROBUSTNESS.md`.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use vax_analysis::{tables, Profile, RunManifest, Tolerance};
 use vax_bench::cli::{self, Command, DiffOptions, Format, Options, ResumeOptions};
 use vax_bench::diffcmd::{self, FileDiff};
 use vax_bench::fsio::write_atomic;
+use vax_bench::heartbeat::{runtime_json, Heartbeat};
 use vax_bench::meter::HostMeter;
 use vax_bench::progress::Progress;
 use vax_bench::runner::{self, RunOutput};
+use vax_bench::tracecheck;
+use vax_trace::{Tracer, MAIN_TID};
 
 fn fig1() -> String {
     // Figure 1 is the 780 block diagram; we reproduce it as the simulated
@@ -93,8 +96,91 @@ fn main() {
         },
         Command::Run(opts) => run(&opts),
         Command::Resume(r) => run_resume(&r),
+        Command::TraceCheck(path) => run_trace_check(&path),
     };
     std::process::exit(code);
+}
+
+/// `reproduce trace-check`: validate a Chrome-trace file; 0 = clean.
+fn run_trace_check(path: &Path) -> i32 {
+    match tracecheck::check_trace_file(path) {
+        Ok(summary) => {
+            println!("{summary}");
+            0
+        }
+        Err(msg) => {
+            eprintln!("reproduce trace-check: {msg}");
+            1
+        }
+    }
+}
+
+/// Build the run's tracer (and heartbeat) from the observability flags:
+/// either `--trace-out` or `--progress` enables recording; without them
+/// the tracer is the no-op disabled handle the hot path never notices.
+/// When a trace file is requested, any panic flushes the partial buffer
+/// there, so even a crashed run leaves an openable trace.
+fn start_observability(
+    trace_out: Option<&Path>,
+    progress_ms: Option<u64>,
+) -> (Tracer, Option<Heartbeat>) {
+    let tracer = if trace_out.is_some() || progress_ms.is_some() {
+        Tracer::enabled()
+    } else {
+        Tracer::disabled()
+    };
+    if let Some(path) = trace_out {
+        tracer.register_panic_flush(path);
+    }
+    let heartbeat = progress_ms.map(|ms| Heartbeat::start(tracer.clone(), ms));
+    (tracer, heartbeat)
+}
+
+/// Write the post-run observability artifacts: the Chrome trace to
+/// `--trace-out`, and (when the run exported into a directory) the
+/// `runtime.json` roll-up next to the other artifacts. Failures here are
+/// reported but never override the run's own exit code with success —
+/// they only turn a clean exit into a failure.
+fn flush_observability(
+    tracer: &Tracer,
+    trace_out: Option<&Path>,
+    out_dir: Option<&Path>,
+    progress: &Progress,
+) -> i32 {
+    if !tracer.is_enabled() {
+        return 0;
+    }
+    let mut code = 0;
+    if let Some(path) = trace_out {
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("reproduce: cannot create {}: {e}", dir.display());
+                code = 1;
+            }
+        }
+        match write_atomic(path, &tracer.chrome_trace()) {
+            Ok(()) => progress.info(&format!("wrote {}", path.display())),
+            Err(e) => {
+                eprintln!("reproduce: cannot write {}: {e}", path.display());
+                code = 1;
+            }
+        }
+    }
+    if let Some(dir) = out_dir {
+        let path = dir.join("runtime.json");
+        let body = runtime_json(tracer).to_string_pretty();
+        match std::fs::create_dir_all(dir)
+            .map_err(|e| e.to_string())
+            .and_then(|()| write_atomic(&path, &body).map_err(|e| e.to_string()))
+        {
+            Ok(()) => progress.info(&format!("wrote {}", path.display())),
+            Err(e) => {
+                eprintln!("reproduce: cannot write {}: {e}", path.display());
+                code = 1;
+            }
+        }
+    }
+    code
 }
 
 /// `reproduce diff`: compare two run directories; 0 = within tolerance.
@@ -125,9 +211,11 @@ fn run(opts: &Options) -> i32 {
         return 0;
     }
 
+    let (tracer, heartbeat) = start_observability(opts.trace_out.as_deref(), opts.progress_ms);
+
     // Meter only the simulation itself, not rendering or artifact I/O.
     let meter = HostMeter::start();
-    let out = runner::run_composite(opts, &progress);
+    let out = runner::run_composite_traced(opts, &progress, &tracer);
     let bench = meter.finish(out.analysis.cycles, out.analysis.instructions);
     progress.info(&bench.summary());
     if let Some(dir) = &opts.bench_out {
@@ -139,7 +227,19 @@ fn run(opts: &Options) -> i32 {
             }
         }
     }
-    render_and_export(opts, &out, &progress)
+    let code = render_and_export(opts, &out, &progress, &tracer);
+    drop(heartbeat);
+    let obs_code = flush_observability(
+        &tracer,
+        opts.trace_out.as_deref(),
+        opts.out.as_deref(),
+        &progress,
+    );
+    if code != 0 {
+        code
+    } else {
+        obs_code
+    }
 }
 
 /// `reproduce resume`: finish an interrupted `--out` run from its
@@ -147,21 +247,35 @@ fn run(opts: &Options) -> i32 {
 /// would have. Returns the process exit code.
 fn run_resume(resume: &ResumeOptions) -> i32 {
     let progress = Progress::new(resume.verbosity);
-    let (opts, out) = match runner::resume_composite(resume, &progress) {
+    let (tracer, heartbeat) = start_observability(resume.trace_out.as_deref(), resume.progress_ms);
+    let (opts, out) = match runner::resume_composite_traced(resume, &progress, &tracer) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("reproduce resume: {e}");
             return 1;
         }
     };
-    render_and_export(&opts, &out, &progress)
+    let code = render_and_export(&opts, &out, &progress, &tracer);
+    drop(heartbeat);
+    let obs_code = flush_observability(
+        &tracer,
+        resume.trace_out.as_deref(),
+        opts.out.as_deref(),
+        &progress,
+    );
+    if code != 0 {
+        code
+    } else {
+        obs_code
+    }
 }
 
 /// Everything downstream of the simulation: profile, per-workload CPIs,
 /// exports, and the exit code. Shared by `run` and `resume` so a resumed
 /// run's artifacts come from the same code path (and the same bytes) as an
 /// uninterrupted one.
-fn render_and_export(opts: &Options, out: &RunOutput, progress: &Progress) -> i32 {
+fn render_and_export(opts: &Options, out: &RunOutput, progress: &Progress, tracer: &Tracer) -> i32 {
+    let _export = tracer.span(MAIN_TID, "export", vec![]);
     // The µPC attribution profile: folded stacks + JSON always go to a
     // directory (--out if given, else the working directory); the top-N
     // report goes to stdout in text mode and stderr in json mode so the
@@ -182,6 +296,7 @@ fn render_and_export(opts: &Options, out: &RunOutput, progress: &Progress) -> i3
                 eprintln!("reproduce: cannot write {}: {e}", path.display());
                 return 1;
             }
+            tracer.count(MAIN_TID, "bytes_exported", body.len() as u64);
         }
         progress.info(&format!(
             "wrote profile.folded and profile.json to {}",
@@ -241,6 +356,7 @@ fn render_and_export(opts: &Options, out: &RunOutput, progress: &Progress) -> i3
                         eprintln!("reproduce: cannot write {}: {e}", path.display());
                         return 1;
                     }
+                    tracer.count(MAIN_TID, "bytes_exported", body.len() as u64);
                 }
                 progress.info(&format!(
                     "wrote {} artifacts to {}",

@@ -90,6 +90,12 @@ pub struct Options {
     /// Test hook: make cell `(workload, shard)` panic on its first N
     /// attempts (`--inject-panic W:S:N`), exercising the supervisor.
     pub inject_panic: Option<(u64, u64, u32)>,
+    /// Write a Chrome Trace Event file of the whole run here
+    /// (`--trace-out FILE`; opens in Perfetto). Enables the tracer.
+    pub trace_out: Option<PathBuf>,
+    /// Emit a machine-readable progress heartbeat on stderr every N ms
+    /// (`--progress` = 1000, `--progress=MS`). Enables the tracer.
+    pub progress_ms: Option<u64>,
 }
 
 impl Default for Options {
@@ -115,6 +121,8 @@ impl Default for Options {
             shard_timeout_secs: None,
             strict: false,
             inject_panic: None,
+            trace_out: None,
+            progress_ms: None,
         }
     }
 }
@@ -136,6 +144,10 @@ pub struct ResumeOptions {
     pub strict: bool,
     /// Stderr narration level.
     pub verbosity: Verbosity,
+    /// Chrome-trace output file for the resumed portion of the run.
+    pub trace_out: Option<PathBuf>,
+    /// Progress-heartbeat period in ms.
+    pub progress_ms: Option<u64>,
 }
 
 /// Options for `reproduce diff`.
@@ -151,8 +163,8 @@ pub struct DiffOptions {
     pub rel_tol: f64,
 }
 
-/// A parsed invocation: the measurement run, the run-directory diff, or
-/// the host-throughput gate.
+/// A parsed invocation: the measurement run, the run-directory diff, the
+/// host-throughput gate, the checkpoint resume, or the trace validator.
 #[derive(Debug, Clone)]
 pub enum Command {
     /// The default five-workload measurement run.
@@ -163,6 +175,9 @@ pub enum Command {
     BenchCheck(crate::benchcheck::BenchCheckOptions),
     /// `reproduce resume DIR`.
     Resume(ResumeOptions),
+    /// `reproduce trace-check FILE`: validate a Chrome-trace file's
+    /// structural invariants.
+    TraceCheck(PathBuf),
 }
 
 /// One-line usage string.
@@ -172,12 +187,14 @@ pub fn usage() -> String {
      [--format text|json] [--out DIR] [--interval-cycles N] \
      [--profile] [--top N] [--flight-recorder K] [--quiet|--verbose] \
      [--bench-out DIR] [--fault-seed S] [--fault-classes C1,C2,..] \
-     [--retries N] [--shard-timeout SECS] [--strict] [--inject-panic W:S:N]\n\
+     [--retries N] [--shard-timeout SECS] [--strict] [--inject-panic W:S:N] \
+     [--trace-out FILE] [--progress[=MS]]\n\
      \x20      reproduce diff BASELINE_DIR CANDIDATE_DIR [--abs-tol X] [--rel-tol X]\n\
      \x20      reproduce bench-check BASELINE_JSON CANDIDATE_JSON_OR_DIR \
      [--max-regression FRAC]\n\
      \x20      reproduce resume DIR [--jobs N] [--retries N] [--shard-timeout SECS] \
-     [--strict] [--quiet|--verbose]"
+     [--strict] [--quiet|--verbose] [--trace-out FILE] [--progress[=MS]]\n\
+     \x20      reproduce trace-check TRACE_JSON"
         .to_string()
 }
 
@@ -211,7 +228,36 @@ pub fn parse_command(args: &[String]) -> Result<Command, String> {
         Some("diff") => parse_diff_args(&args[1..]).map(Command::Diff),
         Some("bench-check") => parse_bench_check_args(&args[1..]).map(Command::BenchCheck),
         Some("resume") => parse_resume_args(&args[1..]).map(Command::Resume),
+        Some("trace-check") => parse_trace_check_args(&args[1..]).map(Command::TraceCheck),
         _ => parse_args(args).map(Command::Run),
+    }
+}
+
+/// Parse `reproduce trace-check` arguments: exactly one trace file.
+pub fn parse_trace_check_args(args: &[String]) -> Result<PathBuf, String> {
+    match args {
+        [file] if !file.starts_with("--") => Ok(PathBuf::from(file)),
+        [] => Err(format!("trace-check requires a trace file\n{}", usage())),
+        _ => Err(format!(
+            "trace-check takes exactly one trace file\n{}",
+            usage()
+        )),
+    }
+}
+
+/// Parse `--progress` / `--progress=MS` (period in milliseconds, ≥ 1).
+fn parse_progress(arg: &str) -> Result<u64, String> {
+    match arg.strip_prefix("--progress=") {
+        None => Ok(1000),
+        Some(raw) => {
+            let ms: u64 = raw.parse().map_err(|_| {
+                format!("invalid value for --progress: '{raw}' (expected milliseconds)")
+            })?;
+            if ms == 0 {
+                return Err("--progress period must be at least 1 ms".to_string());
+            }
+            Ok(ms)
+        }
     }
 }
 
@@ -252,6 +298,8 @@ pub fn parse_resume_args(args: &[String]) -> Result<ResumeOptions, String> {
         shard_timeout_secs: None,
         strict: false,
         verbosity: Verbosity::Normal,
+        trace_out: None,
+        progress_ms: None,
     };
     let mut quiet = false;
     let mut verbose = false;
@@ -273,6 +321,16 @@ pub fn parse_resume_args(args: &[String]) -> Result<ResumeOptions, String> {
             "--shard-timeout" => {
                 i += 1;
                 opts.shard_timeout_secs = Some(parse_shard_timeout(args.get(i))?);
+            }
+            "--trace-out" => {
+                i += 1;
+                let file = args
+                    .get(i)
+                    .ok_or_else(|| "--trace-out requires a file path".to_string())?;
+                opts.trace_out = Some(PathBuf::from(file));
+            }
+            flag if flag == "--progress" || flag.starts_with("--progress=") => {
+                opts.progress_ms = Some(parse_progress(flag)?);
             }
             "--strict" => opts.strict = true,
             "--quiet" => quiet = true,
@@ -509,6 +567,16 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
                 i += 1;
                 opts.inject_panic = Some(parse_inject_panic(args.get(i))?);
             }
+            "--trace-out" => {
+                i += 1;
+                let file = args
+                    .get(i)
+                    .ok_or_else(|| "--trace-out requires a file path".to_string())?;
+                opts.trace_out = Some(PathBuf::from(file));
+            }
+            flag if flag == "--progress" || flag.starts_with("--progress=") => {
+                opts.progress_ms = Some(parse_progress(flag)?);
+            }
             "--strict" => opts.strict = true,
             "--per-workload" => opts.per_workload = true,
             "--profile" => opts.profile = true,
@@ -718,6 +786,62 @@ mod tests {
         assert!(parse(&["--shard-timeout", "-1"]).is_err());
         for bad in ["1:2", "1:2:3:4", "a:0:1", ""] {
             assert!(parse(&["--inject-panic", bad]).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn trace_flags_parse() {
+        let o = parse(&["--trace-out", "/tmp/trace.json", "--progress"]).unwrap();
+        assert_eq!(
+            o.trace_out.as_deref(),
+            Some(std::path::Path::new("/tmp/trace.json"))
+        );
+        assert_eq!(o.progress_ms, Some(1000), "bare --progress defaults to 1s");
+
+        let o = parse(&["--progress=250"]).unwrap();
+        assert_eq!(o.progress_ms, Some(250));
+        assert!(o.trace_out.is_none());
+
+        let o = parse(&[]).unwrap();
+        assert!(o.trace_out.is_none() && o.progress_ms.is_none());
+
+        assert!(parse(&["--trace-out"]).unwrap_err().contains("file path"));
+        assert!(parse(&["--progress=0"]).unwrap_err().contains("at least 1"));
+        assert!(parse(&["--progress=abc"]).unwrap_err().contains("abc"));
+    }
+
+    #[test]
+    fn trace_check_subcommand_parses() {
+        match parse_cmd(&["trace-check", "trace.json"]).unwrap() {
+            Command::TraceCheck(p) => {
+                assert_eq!(p, std::path::PathBuf::from("trace.json"));
+            }
+            _ => panic!("expected trace-check"),
+        }
+        assert!(parse_cmd(&["trace-check"])
+            .unwrap_err()
+            .contains("requires a trace file"));
+        assert!(parse_cmd(&["trace-check", "a", "b"])
+            .unwrap_err()
+            .contains("exactly one"));
+    }
+
+    #[test]
+    fn resume_accepts_trace_flags() {
+        match parse_cmd(&[
+            "resume",
+            "/tmp/run",
+            "--trace-out",
+            "t.json",
+            "--progress=500",
+        ])
+        .unwrap()
+        {
+            Command::Resume(r) => {
+                assert_eq!(r.trace_out.as_deref(), Some(std::path::Path::new("t.json")));
+                assert_eq!(r.progress_ms, Some(500));
+            }
+            _ => panic!("expected resume"),
         }
     }
 

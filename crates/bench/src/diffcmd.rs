@@ -23,11 +23,18 @@ pub const COMPARED_FILES: &[&str] = &[
     "timeseries.json",
     "validation.json",
     "profile.json",
+    "runtime.json",
 ];
 
 /// Fields whose values legitimately differ between otherwise identical runs
 /// (provenance, not measurement). Top-level manifest keys only.
 const PROVENANCE_KEYS: &[&str] = &["generated_unix_ts", "hostname"];
+
+/// Wall-clock fields inside `runtime.json` (span durations). Stripped at
+/// every nesting level before comparison, so the diff gates on the
+/// deterministic counts — phase counts, counters, event tallies — and
+/// never on host timing.
+const TIMING_KEYS: &[&str] = &["total_us"];
 
 /// The comparison result for one artifact file.
 #[derive(Debug)]
@@ -66,6 +73,32 @@ fn strip_provenance(j: Json) -> Json {
     }
 }
 
+/// Recursively drop wall-clock members ([`TIMING_KEYS`]) at every level.
+/// Applied to `runtime.json` only; the measurement artifacts have no
+/// timing fields and keep the cheaper top-level provenance strip.
+fn strip_timing(j: Json) -> Json {
+    match j {
+        Json::Obj(members) => Json::Obj(
+            members
+                .into_iter()
+                .filter(|(k, _)| !TIMING_KEYS.contains(&k.as_str()))
+                .map(|(k, v)| (k, strip_timing(v)))
+                .collect(),
+        ),
+        Json::Arr(items) => Json::Arr(items.into_iter().map(strip_timing).collect()),
+        other => other,
+    }
+}
+
+/// The normalization applied to artifact `name` before diffing.
+fn normalize(name: &str, j: Json) -> Json {
+    if name == "runtime.json" {
+        strip_timing(strip_provenance(j))
+    } else {
+        strip_provenance(j)
+    }
+}
+
 /// Compare the artifact sets of two run directories.
 ///
 /// # Errors
@@ -90,7 +123,7 @@ pub fn diff_run_dirs(
             (true, false) => Err(format!("missing in candidate {}", candidate.display())),
             (false, true) => Err(format!("missing in baseline {}", baseline.display())),
             (true, true) => match (load_json(baseline, name), load_json(candidate, name)) {
-                (Ok(a), Ok(b)) => Ok(diff_json(&strip_provenance(a), &strip_provenance(b), tol)),
+                (Ok(a), Ok(b)) => Ok(diff_json(&normalize(name, a), &normalize(name, b), tol)),
                 (Err(e), _) | (_, Err(e)) => Err(e),
             },
         };
@@ -205,6 +238,43 @@ mod tests {
         write_dir(&b, &[]);
         assert!(diff_run_dirs(&a, &b, &Tolerance::exact()).is_err());
         assert!(diff_run_dirs(&a, Path::new("/nonexistent-xyz"), &Tolerance::exact()).is_err());
+    }
+
+    #[test]
+    fn runtime_json_ignores_wall_clock_but_gates_on_counts() {
+        let a = tmp("rt-a");
+        let b = tmp("rt-b");
+        write_dir(
+            &a,
+            &[(
+                "runtime.json",
+                r#"{"counters": {"cells_done": 5},
+                    "phases": {"boot": {"count": 5, "total_us": 1111}}}"#,
+            )],
+        );
+        // Same counts, different wall-clock: clean.
+        write_dir(
+            &b,
+            &[(
+                "runtime.json",
+                r#"{"counters": {"cells_done": 5},
+                    "phases": {"boot": {"count": 5, "total_us": 9999}}}"#,
+            )],
+        );
+        let diffs = diff_run_dirs(&a, &b, &Tolerance::exact()).unwrap();
+        assert!(diffs[0].is_clean(), "total_us is stripped at depth");
+
+        // Different counts: drift, even at identical wall-clock.
+        write_dir(
+            &b,
+            &[(
+                "runtime.json",
+                r#"{"counters": {"cells_done": 4},
+                    "phases": {"boot": {"count": 5, "total_us": 1111}}}"#,
+            )],
+        );
+        let diffs = diff_run_dirs(&a, &b, &Tolerance::exact()).unwrap();
+        assert!(!diffs[0].is_clean(), "counts must still gate");
     }
 
     #[test]

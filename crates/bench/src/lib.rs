@@ -9,11 +9,13 @@ pub mod cli;
 pub mod diffcmd;
 pub mod fsio;
 pub mod harness;
+pub mod heartbeat;
 pub mod meter;
 pub mod pool;
 pub mod progress;
 pub mod resume;
 pub mod runner;
+pub mod tracecheck;
 
 /// Default per-workload measurement length (instructions) for the full
 /// reproduction. The paper ran each experiment ~1 hour of wall time; at

@@ -143,14 +143,20 @@ pub fn peak_rss_bytes() -> Option<u64> {
     parse_vm_hwm(&status)
 }
 
+/// Parse the `VmHWM` line out of a `/proc/self/status` document.
+///
+/// Returns `None` — never an error, never a conflated `0` — when the line
+/// is absent (procfs without per-process accounting, non-Linux fixtures)
+/// or malformed. The unit suffix must literally be `kB` (that is what the
+/// kernel prints); a bare number or an unexpected unit is treated as
+/// malformed rather than guessed at, since a wrongly-scaled RSS is worse
+/// in a regression dashboard than an honest `null`.
 fn parse_vm_hwm(status: &str) -> Option<u64> {
-    for line in status.lines() {
-        if let Some(rest) = line.strip_prefix("VmHWM:") {
-            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
-            return Some(kb * 1024);
-        }
-    }
-    None
+    let rest = status
+        .lines()
+        .find_map(|line| line.strip_prefix("VmHWM:"))?;
+    let kb: u64 = rest.trim().strip_suffix("kB")?.trim().parse().ok()?;
+    Some(kb * 1024)
 }
 
 #[cfg(test)]
@@ -208,6 +214,51 @@ mod tests {
         let status = "Name:\treproduce\nVmPeak:\t  123 kB\nVmHWM:\t   2048 kB\nThreads: 1\n";
         assert_eq!(parse_vm_hwm(status), Some(2048 * 1024));
         assert_eq!(parse_vm_hwm("Name: x\n"), None);
+    }
+
+    #[test]
+    fn parses_fixture_status_files() {
+        let ok = include_str!("../tests/fixtures/proc_status_ok.txt");
+        assert_eq!(parse_vm_hwm(ok), Some(51_200 * 1024));
+        let missing = include_str!("../tests/fixtures/proc_status_no_vmhwm.txt");
+        assert_eq!(parse_vm_hwm(missing), None, "absent VmHWM degrades to None");
+    }
+
+    #[test]
+    fn malformed_vm_hwm_is_none_not_zero() {
+        for bad in [
+            "VmHWM:\t   garbage kB\n",
+            "VmHWM:\t   2048\n",      // kernel always prints the unit
+            "VmHWM:\t   2048 MB\n",   // unexpected unit: refuse to guess
+            "VmHWM:\t   2048 kBkB\n", // the old trim_end_matches accepted this
+            "VmHWM:\n",
+        ] {
+            assert_eq!(parse_vm_hwm(bad), None, "{bad:?}");
+        }
+        // VmHWM of a fresh process can legitimately be small but not absent;
+        // zero parses as zero, distinct from None.
+        assert_eq!(parse_vm_hwm("VmHWM:\t0 kB\n"), Some(0));
+    }
+
+    #[test]
+    fn missing_vm_hwm_serializes_as_json_null() {
+        let r = BenchReport {
+            wall_seconds: 1.0,
+            simulated_cycles: 1,
+            simulated_instructions: 1,
+            cycles_per_sec: 1.0,
+            instructions_per_sec: 1.0,
+            peak_rss_bytes: None,
+            unix_ts: 1_754_000_000,
+        };
+        let j = r.to_json();
+        assert!(
+            matches!(j.get("peak_rss_bytes"), Some(Json::Null)),
+            "absent RSS must be null, not 0 or missing"
+        );
+        let text = j.to_string_pretty();
+        assert!(text.contains("\"peak_rss_bytes\": null"), "{text}");
+        assert!(!r.summary().contains("RSS"), "no fabricated RSS in summary");
     }
 
     #[test]

@@ -23,6 +23,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use vax_trace::{worker_tid, SpanId, Tracer};
+
 /// A job that exhausted its attempts: which input failed, how many times it
 /// was tried, and the payload of the *last* panic (re-raise it with
 /// [`std::panic::resume_unwind`], or render it with [`panic_message`]).
@@ -109,6 +111,44 @@ where
     O: Send,
     F: Fn(usize, &I, u32) -> O + Sync,
 {
+    run_supervised_traced(
+        jobs,
+        inputs,
+        retries,
+        &Tracer::disabled(),
+        0,
+        |_worker, i, input, attempt| f(i, input, attempt),
+    )
+}
+
+/// [`run_supervised`] with per-worker observability.
+///
+/// Each worker gets its own trace track ([`worker_tid`], named
+/// `worker-N`). On that track the pool records, per job: a `queue-wait`
+/// span covering the gap between finishing the previous job and claiming
+/// this one (recorded only when a job is actually claimed, so span counts
+/// stay invariant under the worker count), and a `job` span per attempt
+/// (parented under `parent`, normally the run's root span) inside which
+/// `f` runs — so any spans `f` opens nest under it. Irregular moments are
+/// instant events: `shard-panic` or `watchdog` (by panic payload) per
+/// failed attempt, `retry` when another attempt follows, `quarantine` when
+/// attempts are exhausted; `retries`/`quarantines` counters track totals.
+///
+/// `f(worker, i, &inputs[i], attempt)` additionally receives the worker
+/// index so callers can place their own spans on the right track.
+pub fn run_supervised_traced<I, O, F>(
+    jobs: usize,
+    inputs: &[I],
+    retries: u32,
+    tracer: &Tracer,
+    parent: SpanId,
+    f: F,
+) -> PoolOutcome<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(usize, usize, &I, u32) -> O + Sync,
+{
     assert!(jobs > 0, "run_supervised: jobs must be at least 1");
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<O>>> = inputs.iter().map(|_| Mutex::new(None)).collect();
@@ -116,27 +156,68 @@ where
 
     std::thread::scope(|scope| {
         let workers = jobs.min(inputs.len().max(1));
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(input) = inputs.get(i) else { return };
-                let mut last_payload = None;
-                for attempt in 0..=retries {
-                    match catch_unwind(AssertUnwindSafe(|| f(i, input, attempt))) {
-                        Ok(out) => {
-                            *slots[i].lock().unwrap() = Some(out);
-                            last_payload = None;
-                            break;
-                        }
-                        Err(payload) => last_payload = Some(payload),
-                    }
+        for w in 0..workers {
+            let f = &f;
+            let next = &next;
+            let slots = &slots;
+            let failures = &failures;
+            scope.spawn(move || {
+                let tid = worker_tid(w);
+                if tracer.is_enabled() {
+                    tracer.set_thread_name(tid, &format!("worker-{w}"));
                 }
-                if let Some(payload) = last_payload {
-                    failures.lock().unwrap().push(JobFailure {
-                        index: i,
-                        attempts: 1 + retries,
-                        payload,
-                    });
+                loop {
+                    let wait_start = tracer.now_us();
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(input) = inputs.get(i) else { return };
+                    tracer.complete(tid, "queue-wait", wait_start, vec![("index", i.into())]);
+                    let mut last_payload = None;
+                    for attempt in 0..=retries {
+                        let job = tracer.span_under(
+                            tid,
+                            "job",
+                            parent,
+                            vec![("index", i.into()), ("attempt", attempt.into())],
+                        );
+                        let result = catch_unwind(AssertUnwindSafe(|| f(w, i, input, attempt)));
+                        drop(job);
+                        match result {
+                            Ok(out) => {
+                                *slots[i].lock().unwrap() = Some(out);
+                                last_payload = None;
+                                break;
+                            }
+                            Err(payload) => {
+                                let kind = if payload
+                                    .downcast_ref::<vax780::WatchdogExpired>()
+                                    .is_some()
+                                {
+                                    "watchdog"
+                                } else {
+                                    "shard-panic"
+                                };
+                                tracer.instant(
+                                    tid,
+                                    kind,
+                                    vec![("index", i.into()), ("attempt", attempt.into())],
+                                );
+                                if attempt < retries {
+                                    tracer.instant(tid, "retry", vec![("index", i.into())]);
+                                    tracer.count(tid, "retries", 1);
+                                }
+                                last_payload = Some(payload);
+                            }
+                        }
+                    }
+                    if let Some(payload) = last_payload {
+                        tracer.instant(tid, "quarantine", vec![("index", i.into())]);
+                        tracer.count(tid, "quarantines", 1);
+                        failures.lock().unwrap().push(JobFailure {
+                            index: i,
+                            attempts: 1 + retries,
+                            payload,
+                        });
+                    }
                 }
             });
         }
@@ -249,5 +330,76 @@ mod tests {
     fn zero_jobs_is_a_programming_error() {
         let r = std::panic::catch_unwind(|| run_supervised(0, &[1u8], 0, |_, &x, _| x));
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn traced_pool_records_queue_waits_and_job_spans() {
+        let tracer = Tracer::enabled();
+        let inputs: Vec<u64> = (0..6).collect();
+        let outcome =
+            run_supervised_traced(3, &inputs, 0, &tracer, 0, |_w, _i, &x, _attempt| x * 2);
+        assert!(outcome.is_complete());
+        let phases = tracer.phase_totals();
+        // One claim per input, one attempt per input — invariant in the
+        // worker count, which is what keeps runtime.json jobs-invariant.
+        assert_eq!(phases["queue-wait"].count, 6);
+        assert_eq!(phases["job"].count, 6);
+        // Every worker track got a thread-name metadata event.
+        let names: Vec<String> = tracer
+            .events()
+            .iter()
+            .filter(|e| e.kind == vax_trace::EventKind::Meta)
+            .filter_map(|e| match &e.args[..] {
+                [(_, vax_trace::ArgValue::Str(s))] => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        assert!(names.contains(&"worker-0".to_string()), "{names:?}");
+    }
+
+    #[test]
+    fn traced_pool_records_retry_and_quarantine_instants() {
+        let tracer = Tracer::enabled();
+        let outcome: PoolOutcome<u32> =
+            run_supervised_traced(1, &[0u32], 1, &tracer, 0, |_, _, _, _| panic!("always"));
+        assert_eq!(outcome.failures.len(), 1);
+        let instants = tracer.instant_totals();
+        assert_eq!(instants["shard-panic"], 2, "one per attempt");
+        assert_eq!(instants["retry"], 1, "one retry before exhaustion");
+        assert_eq!(instants["quarantine"], 1);
+        assert_eq!(tracer.counter_value("retries"), 1);
+        assert_eq!(tracer.counter_value("quarantines"), 1);
+    }
+
+    #[test]
+    fn traced_pool_classifies_watchdog_panics() {
+        let tracer = Tracer::enabled();
+        let _outcome: PoolOutcome<u32> =
+            run_supervised_traced(1, &[0u32], 0, &tracer, 0, |_, _, _, _| {
+                std::panic::panic_any(vax780::WatchdogExpired)
+            });
+        let instants = tracer.instant_totals();
+        assert_eq!(instants["watchdog"], 1);
+        assert!(!instants.contains_key("shard-panic"));
+    }
+
+    #[test]
+    fn callback_sees_a_valid_worker_index() {
+        let max_worker = AtomicUsize::new(0);
+        let inputs: Vec<u32> = (0..12).collect();
+        let out = run_supervised_traced(
+            3,
+            &inputs,
+            0,
+            &Tracer::disabled(),
+            0,
+            |worker, _i, &x, _attempt| {
+                max_worker.fetch_max(worker, Ordering::Relaxed);
+                x
+            },
+        )
+        .into_results();
+        assert_eq!(out, inputs);
+        assert!(max_worker.load(Ordering::Relaxed) < 3);
     }
 }

@@ -179,6 +179,8 @@ pub fn options_from_header(text: &str, resume: &ResumeOptions) -> Result<Options
         shard_timeout_secs: resume.shard_timeout_secs,
         strict: resume.strict,
         inject_panic: None,
+        trace_out: resume.trace_out.clone(),
+        progress_ms: resume.progress_ms,
     })
 }
 
@@ -238,6 +240,8 @@ mod tests {
             shard_timeout_secs: Some(9.0),
             strict: true,
             verbosity: Verbosity::Quiet,
+            trace_out: None,
+            progress_ms: None,
         }
     }
 

@@ -28,11 +28,12 @@
 use vax780::{merge_ordered, FaultPlan, Measurement, TimeSeries};
 use vax_analysis::{validate, Analysis, CheckpointCell, ValidationReport};
 use vax_cpu::{ControlStore, CpuConfig, SharedFlightRecorder};
+use vax_trace::{worker_tid, Tracer, MAIN_TID};
 use vax_workload::Workload;
 
 use crate::cli::{Options, ResumeOptions};
 use crate::fsio::write_atomic;
-use crate::pool::{panic_message, run_supervised};
+use crate::pool::{panic_message, run_supervised_traced};
 use crate::progress::Progress;
 use crate::resume::{cell_path, checkpoints_dir, header_json, header_path, load_cells};
 
@@ -95,6 +96,16 @@ struct CellData {
 /// up front). A worker panic no longer propagates — it is retried and, on
 /// exhaustion, quarantined into [`RunOutput::failed_cells`].
 pub fn run_composite(opts: &Options, progress: &Progress) -> RunOutput {
+    run_composite_traced(opts, progress, &Tracer::disabled())
+}
+
+/// [`run_composite`] with harness observability: every pipeline phase of
+/// every cell (codegen, boot, simulate, checkpoint) becomes a span on the
+/// worker's trace track, the reduction becomes a `merge` span on the main
+/// track, and the tracer's counters accumulate cells done, instructions,
+/// decode-cache hits/misses, and scheduled fault injections. A disabled
+/// tracer makes this identical to [`run_composite`].
+pub fn run_composite_traced(opts: &Options, progress: &Progress, tracer: &Tracer) -> RunOutput {
     assert!(opts.shards > 0, "run_composite: shards must be at least 1");
     // A fresh run must not inherit cells journaled by an earlier run in
     // the same directory (a previous grid may have been larger, and its
@@ -103,7 +114,7 @@ pub fn run_composite(opts: &Options, progress: &Progress) -> RunOutput {
         let _ = std::fs::remove_dir_all(checkpoints_dir(out));
     }
     let cells = vec![None; Workload::ALL.len() * opts.shards as usize];
-    run_grid(opts, progress, cells)
+    run_grid(opts, progress, cells, tracer)
 }
 
 /// Finish the interrupted run journaled under `resume.dir`: reconstruct
@@ -118,6 +129,17 @@ pub fn run_composite(opts: &Options, progress: &Progress) -> RunOutput {
 pub fn resume_composite(
     resume: &ResumeOptions,
     progress: &Progress,
+) -> Result<(Options, RunOutput), String> {
+    resume_composite_traced(resume, progress, &Tracer::disabled())
+}
+
+/// [`resume_composite`] with harness observability (see
+/// [`run_composite_traced`]); already-checkpointed cells count toward the
+/// tracer's `cells_done` before any new work starts.
+pub fn resume_composite_traced(
+    resume: &ResumeOptions,
+    progress: &Progress,
+    tracer: &Tracer,
 ) -> Result<(Options, RunOutput), String> {
     let path = header_path(&resume.dir);
     let text = std::fs::read_to_string(&path).map_err(|e| {
@@ -134,7 +156,7 @@ pub fn resume_composite(
         resume.dir.display(),
         cells.len()
     ));
-    let out = run_grid(&opts, progress, cells);
+    let out = run_grid(&opts, progress, cells, tracer);
     Ok((opts, out))
 }
 
@@ -143,11 +165,29 @@ fn run_grid(
     opts: &Options,
     progress: &Progress,
     preloaded: Vec<Option<CheckpointCell>>,
+    tracer: &Tracer,
 ) -> RunOutput {
     let instructions = opts.instructions;
     let seed = opts.seed;
     let shards = opts.shards as usize;
     assert_eq!(preloaded.len(), Workload::ALL.len() * shards);
+    tracer.set_thread_name(MAIN_TID, "main");
+    let run_span = tracer.span(
+        MAIN_TID,
+        "run",
+        vec![
+            ("experiment", opts.experiment.as_str().into()),
+            ("seed", seed.into()),
+            ("shards", opts.shards.into()),
+            ("jobs", opts.jobs.into()),
+            ("instructions", instructions.into()),
+        ],
+    );
+    tracer.counter_set("cells_total", preloaded.len() as u64);
+    let preloaded_done = preloaded.iter().filter(|c| c.is_some()).count() as u64;
+    if preloaded_done > 0 {
+        tracer.count(MAIN_TID, "cells_done", preloaded_done);
+    }
     progress.info(&format!(
         "running 5 workloads x {shards} shard(s) x {instructions} instructions \
          (seed {seed}, {} job(s)) ...",
@@ -195,37 +235,78 @@ fn run_grid(
         })
         .collect();
 
-    let outcome = run_supervised(
+    let outcome = run_supervised_traced(
         opts.jobs,
         &todo,
         opts.retries,
-        |_, job: &ShardJob, attempt| {
+        tracer,
+        run_span.id(),
+        |worker, _i, job: &ShardJob, attempt| {
+            let tid = worker_tid(worker);
+            let _cell = tracer.span(
+                tid,
+                "cell",
+                vec![
+                    ("workload", job.workload.name().into()),
+                    ("shard", job.shard.into()),
+                    ("attempt", attempt.into()),
+                ],
+            );
             if let Some((w, s, n)) = opts.inject_panic {
                 if job.workload_index == w && job.shard == s && attempt < n {
                     panic!("injected panic (attempt {attempt})");
                 }
             }
-            let mut system =
-                vax_workload::rte::build_shard(job.workload, job.workload_index, job.shard, seed);
+            let cell_seed = vax_workload::rte::shard_seed(seed, job.workload_index, job.shard);
+            let specs = {
+                let _g = tracer.span(tid, "codegen", vec![]);
+                vax_workload::rte::shard_processes(
+                    job.workload,
+                    vax_workload::rte::PROCESSES_PER_WORKLOAD,
+                    cell_seed,
+                )
+            };
+            let mut system = {
+                let _g = tracer.span(tid, "boot", vec![]);
+                vax_workload::rte::boot_system(specs)
+            };
             if job.recorder.is_enabled() {
                 system.cpu.flight = job.recorder.clone();
             }
+            let mut fault_count = 0u64;
             if let Some(fault_seed) = opts.fault_seed {
-                system.install_fault_plan(FaultPlan::generate(
+                let plan = FaultPlan::generate(
                     fault_seed,
                     job.workload_index as usize,
                     job.shard as usize,
                     instructions,
                     &opts.fault_classes,
-                ));
+                );
+                fault_count = plan.len() as u64;
+                system.install_fault_plan(plan);
             }
             if let Some(secs) = opts.shard_timeout_secs {
                 system.set_deadline(Some(
                     std::time::Instant::now() + std::time::Duration::from_secs_f64(secs),
                 ));
             }
-            let (m, series) =
-                system.measure_sampled(instructions / 10, instructions, opts.interval_cycles);
+            let (m, series) = {
+                let _g = tracer.span(tid, "simulate", vec![]);
+                system.measure_sampled(instructions / 10, instructions, opts.interval_cycles)
+            };
+            // Counters are recorded only after a *successful* measurement,
+            // so a retried attempt never double-counts and runtime.json
+            // totals stay invariant in both --jobs and --retries.
+            if tracer.is_enabled() {
+                let d = system.cpu.decode_cache_stats();
+                tracer.count(tid, "decode_cache_hits", d.hits);
+                tracer.count(tid, "decode_cache_misses", d.misses);
+                tracer.count(tid, "instructions", m.instructions());
+                tracer.count(tid, "sim_cycles", m.cycles);
+                if fault_count > 0 {
+                    tracer.count(tid, "fault_injections", fault_count);
+                }
+            }
             progress.debug(&format!(
                 "  {} shard {}: {} cycles, {} interval samples",
                 job.workload.name(),
@@ -233,7 +314,8 @@ fn run_grid(
                 m.cycles,
                 series.samples.len()
             ));
-            if let Some(out) = &journal {
+            let data = if let Some(out) = &journal {
+                let _g = tracer.span(tid, "checkpoint", vec![]);
                 let cell = CheckpointCell {
                     workload: job.workload_index,
                     shard: job.shard,
@@ -252,7 +334,9 @@ fn run_grid(
                 }
             } else {
                 CellData { m, series }
-            }
+            };
+            tracer.count(tid, "cells_done", 1);
+            data
         },
     );
 
@@ -279,6 +363,7 @@ fn run_grid(
     // Deterministic reduction: grid-index order, regardless of which
     // worker finished when. Quarantined cells are simply absent — the
     // composite covers whatever survived.
+    let merge_span = tracer.span(MAIN_TID, "merge", vec![]);
     let cs = ControlStore::new(&CpuConfig::default());
     let mut per: Vec<(Workload, f64)> = Vec::new();
     let mut composite = Measurement::default();
@@ -302,6 +387,8 @@ fn run_grid(
         per.push((workload, merged.cpi()));
         composite.merge(&merged);
     }
+    drop(merge_span);
+    drop(run_span);
 
     let analysis = Analysis::new(&cs, &composite);
     let conservation_err = analysis.check_conservation().err();

@@ -1,0 +1,284 @@
+//! `reproduce trace-check` — validate a Chrome Trace Event file.
+//!
+//! A trace that *loads* in Perfetto is not necessarily a trace that is
+//! *right*: an unmatched `B`, a timestamp that runs backwards on a track,
+//! or a phase name nothing else in the pipeline emits all indicate a bug
+//! in the instrumentation, and the viewer will happily render garbage
+//! around them. This validator checks the structural invariants the
+//! `vax_trace` emitter promises — which is exactly what lets CI gate on
+//! them:
+//!
+//! * the document is valid JSON, either `{"traceEvents": [...]}` or a
+//!   bare event array;
+//! * every event has a string `name`, a known `ph` code, a non-negative
+//!   numeric `ts`, and an integer `tid`;
+//! * timestamps are monotonic (non-decreasing) per `tid` in file order;
+//! * `B`/`E` events pair up per `tid` like balanced parentheses, with
+//!   matching names, and no span is left open at end of file;
+//! * every duration-span name is one of the harness's known phases
+//!   ([`KNOWN_PHASES`]).
+
+use std::path::Path;
+
+use vax_analysis::Json;
+
+/// Every phase name the harness emits as a duration span (`B`/`E`).
+/// `trace-check` rejects spans outside this list: an unknown name means
+/// the emitter and the checker have drifted apart, which is precisely
+/// what this gate exists to catch. Keep in sync with
+/// `docs/OBSERVABILITY.md`.
+pub const KNOWN_PHASES: &[&str] = &[
+    "run",
+    "queue-wait",
+    "job",
+    "cell",
+    "codegen",
+    "boot",
+    "simulate",
+    "checkpoint",
+    "merge",
+    "export",
+];
+
+/// Chrome Trace Event phase codes the harness may emit (plus `X` and `I`,
+/// accepted for compatibility with hand-edited or foreign traces).
+const KNOWN_PH: &[&str] = &["B", "E", "X", "i", "I", "C", "M"];
+
+/// What a clean check found, for the one-line summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Total events in the file.
+    pub events: usize,
+    /// Matched `B`/`E` span pairs.
+    pub spans: usize,
+    /// Distinct `tid` tracks.
+    pub tracks: usize,
+}
+
+impl std::fmt::Display for TraceSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "trace ok: {} event(s), {} span(s), {} track(s)",
+            self.events, self.spans, self.tracks
+        )
+    }
+}
+
+/// Validate the trace file at `path`. See [`check_trace_text`].
+///
+/// # Errors
+/// Returns the first violation found (or an I/O message), suitable for
+/// printing before a nonzero exit.
+pub fn check_trace_file(path: &Path) -> Result<TraceSummary, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    check_trace_text(&text)
+}
+
+/// Validate Chrome-trace JSON text against the structural invariants
+/// listed in the module docs.
+///
+/// # Errors
+/// Returns a message locating the first violation (by event index).
+pub fn check_trace_text(text: &str) -> Result<TraceSummary, String> {
+    let doc = Json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let events = match &doc {
+        Json::Arr(events) => events,
+        Json::Obj(_) => doc
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .ok_or("top-level object has no 'traceEvents' array")?,
+        _ => return Err("expected a trace object or event array".to_string()),
+    };
+
+    // Per-tid state: last timestamp seen, and the open B-span name stack.
+    let mut last_ts: std::collections::BTreeMap<i64, f64> = std::collections::BTreeMap::new();
+    let mut stacks: std::collections::BTreeMap<i64, Vec<String>> =
+        std::collections::BTreeMap::new();
+    let mut spans = 0usize;
+
+    for (i, e) in events.iter().enumerate() {
+        let name = e
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or(format!("event {i}: missing or non-string 'name'"))?;
+        let ph = e
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or(format!("event {i}: missing or non-string 'ph'"))?;
+        if !KNOWN_PH.contains(&ph) {
+            return Err(format!("event {i} ('{name}'): unknown phase code '{ph}'"));
+        }
+        let ts = e
+            .get("ts")
+            .and_then(Json::as_f64)
+            .ok_or(format!("event {i} ('{name}'): missing or non-numeric 'ts'"))?;
+        if !ts.is_finite() || ts < 0.0 {
+            return Err(format!(
+                "event {i} ('{name}'): negative or non-finite ts {ts}"
+            ));
+        }
+        let tid = e.get("tid").and_then(Json::as_i64).ok_or(format!(
+            "event {i} ('{name}'): missing or non-integer 'tid'"
+        ))?;
+
+        // Metadata events carry no meaningful timestamp ordering claim,
+        // but ours are emitted in clock order too, so hold them to it.
+        let prev = last_ts.entry(tid).or_insert(ts);
+        if ts < *prev {
+            return Err(format!(
+                "event {i} ('{name}'): ts {ts} runs backwards on tid {tid} (previous {prev})"
+            ));
+        }
+        *prev = ts;
+
+        match ph {
+            "B" => {
+                if !KNOWN_PHASES.contains(&name) {
+                    return Err(format!(
+                        "event {i}: unknown span phase '{name}' (known: {})",
+                        KNOWN_PHASES.join(", ")
+                    ));
+                }
+                stacks.entry(tid).or_default().push(name.to_string());
+            }
+            "E" => {
+                let stack = stacks.entry(tid).or_default();
+                match stack.pop() {
+                    Some(open) if open == name => spans += 1,
+                    Some(open) => {
+                        return Err(format!(
+                            "event {i}: E '{name}' closes innermost B '{open}' on tid {tid}"
+                        ))
+                    }
+                    None => {
+                        return Err(format!("event {i}: E '{name}' with no open B on tid {tid}"))
+                    }
+                }
+            }
+            "X" => {
+                if !KNOWN_PHASES.contains(&name) {
+                    return Err(format!("event {i}: unknown span phase '{name}'"));
+                }
+                spans += 1;
+            }
+            _ => {}
+        }
+    }
+
+    for (tid, stack) in &stacks {
+        if let Some(open) = stack.last() {
+            return Err(format!(
+                "end of file: B '{open}' on tid {tid} was never closed ({} span(s) still open)",
+                stack.len()
+            ));
+        }
+    }
+
+    Ok(TraceSummary {
+        events: events.len(),
+        spans,
+        tracks: last_ts.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vax_trace::{Tracer, MAIN_TID};
+
+    fn check(text: &str) -> Result<TraceSummary, String> {
+        check_trace_text(text)
+    }
+
+    #[test]
+    fn accepts_a_real_tracer_export() {
+        let t = Tracer::enabled();
+        t.set_thread_name(MAIN_TID, "main");
+        let run = t.span(MAIN_TID, "run", vec![]);
+        {
+            let _cell = t.span_under(1, "cell", run.id(), vec![]);
+            let _sim = t.span(1, "simulate", vec![]);
+        }
+        t.instant(1, "retry", vec![]);
+        t.count(MAIN_TID, "cells_done", 1);
+        drop(run);
+        let summary = check(&t.chrome_trace()).expect("tracer output must validate");
+        assert_eq!(summary.spans, 3);
+        assert_eq!(summary.tracks, 2);
+        assert!(summary.to_string().contains("trace ok"));
+    }
+
+    #[test]
+    fn accepts_a_bare_event_array() {
+        let s = check(
+            r#"[{"name":"run","ph":"B","ts":0,"tid":0},
+                          {"name":"run","ph":"E","ts":5,"tid":0}]"#,
+        )
+        .unwrap();
+        assert_eq!(s.spans, 1);
+    }
+
+    #[test]
+    fn rejects_unbalanced_and_misnested_pairs() {
+        let err = check(r#"[{"name":"run","ph":"B","ts":0,"tid":0}]"#).unwrap_err();
+        assert!(err.contains("never closed"), "{err}");
+
+        let err = check(r#"[{"name":"run","ph":"E","ts":0,"tid":0}]"#).unwrap_err();
+        assert!(err.contains("no open B"), "{err}");
+
+        let err = check(
+            r#"[{"name":"run","ph":"B","ts":0,"tid":0},
+                {"name":"cell","ph":"B","ts":1,"tid":0},
+                {"name":"run","ph":"E","ts":2,"tid":0},
+                {"name":"cell","ph":"E","ts":3,"tid":0}]"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("closes innermost"), "{err}");
+    }
+
+    #[test]
+    fn rejects_backwards_timestamps_per_tid() {
+        let err = check(
+            r#"[{"name":"run","ph":"B","ts":10,"tid":0},
+                {"name":"run","ph":"E","ts":5,"tid":0}]"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("runs backwards"), "{err}");
+
+        // Monotonicity is per track: tids are ordered independently.
+        assert!(check(
+            r#"[{"name":"run","ph":"B","ts":10,"tid":0},
+                {"name":"cell","ph":"B","ts":2,"tid":1},
+                {"name":"cell","ph":"E","ts":3,"tid":1},
+                {"name":"run","ph":"E","ts":11,"tid":0}]"#,
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn rejects_unknown_phase_names_and_codes() {
+        let err = check(r#"[{"name":"frobnicate","ph":"B","ts":0,"tid":0}]"#).unwrap_err();
+        assert!(err.contains("unknown span phase"), "{err}");
+
+        let err = check(r#"[{"name":"run","ph":"Z","ts":0,"tid":0}]"#).unwrap_err();
+        assert!(err.contains("unknown phase code"), "{err}");
+
+        // Instants and counters may use any name (they narrate, not nest).
+        assert!(check(r#"[{"name":"anything","ph":"i","ts":0,"tid":0}]"#).is_ok());
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(check("not json").unwrap_err().contains("not valid JSON"));
+        assert!(check("{}").unwrap_err().contains("traceEvents"));
+        assert!(check("42").unwrap_err().contains("expected a trace"));
+        let err = check(r#"[{"ph":"B","ts":0,"tid":0}]"#).unwrap_err();
+        assert!(err.contains("'name'"), "{err}");
+        let err = check(r#"[{"name":"run","ph":"B","tid":0}]"#).unwrap_err();
+        assert!(err.contains("'ts'"), "{err}");
+        let err = check(r#"[{"name":"run","ph":"B","ts":0}]"#).unwrap_err();
+        assert!(err.contains("'tid'"), "{err}");
+    }
+}

@@ -1,0 +1,185 @@
+//! Chrome Trace Event serialization.
+//!
+//! Emits the JSON Object Format (`{"traceEvents": [...]}`) described by the
+//! Trace Event Format spec and understood by Perfetto and
+//! `chrome://tracing`: duration events as matched `B`/`E` pairs, instants
+//! as `i`, counters as `C`, and thread names as `M` metadata. Timestamps
+//! are microseconds on the tracer's monotonic clock.
+//!
+//! The serializer is deliberately self-contained (this crate has no
+//! dependencies, so it is usable from any layer of the workspace); it
+//! escapes strings itself rather than pulling in `vax_analysis::Json`.
+
+use std::fmt::Write;
+
+use crate::{ArgValue, Event, EventKind};
+
+/// The single process id used for all tracks. The harness is one process;
+/// tracks distinguish the main thread from pool workers.
+pub const PID: u64 = 1;
+
+/// Escape `s` as the body of a JSON string literal.
+fn escape_json(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_args(out: &mut String, args: &[(&'static str, ArgValue)]) {
+    out.push('{');
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_json(out, k);
+        out.push_str("\":");
+        match v {
+            ArgValue::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            ArgValue::Str(s) => {
+                out.push('"');
+                escape_json(out, s);
+                out.push('"');
+            }
+        }
+    }
+    out.push('}');
+}
+
+fn push_event(out: &mut String, e: &Event) {
+    out.push_str("{\"name\":\"");
+    escape_json(out, &e.name);
+    let _ = write!(
+        out,
+        "\",\"ph\":\"{}\",\"pid\":{PID},\"tid\":{},\"ts\":{}",
+        e.kind.code(),
+        e.tid,
+        e.ts_us
+    );
+    if e.kind == EventKind::Instant {
+        // Thread-scoped instants render as small markers on their track.
+        out.push_str(",\"s\":\"t\"");
+    }
+    let mut args: Vec<(&'static str, ArgValue)> = Vec::new();
+    if e.kind == EventKind::Begin {
+        args.push(("span", ArgValue::Int(e.span as i64)));
+        args.push(("parent", ArgValue::Int(e.parent as i64)));
+    }
+    args.extend(e.args.iter().cloned());
+    if !args.is_empty() {
+        out.push_str(",\"args\":");
+        push_args(&mut *out, &args);
+    }
+    out.push('}');
+}
+
+/// Render `events` as a Chrome Trace Event JSON document.
+///
+/// Events are sorted by `(ts, recording order)` — a *stable* sort, so
+/// same-timestamp events keep their recording order and `B`/`E` pairs stay
+/// properly nested even at microsecond granularity.
+pub fn render_chrome_trace(events: &[Event]) -> String {
+    let mut order: Vec<usize> = (0..events.len()).collect();
+    order.sort_by_key(|&i| events[i].ts_us);
+    let mut out = String::with_capacity(events.len() * 96 + 64);
+    out.push_str("{\"traceEvents\":[");
+    for (n, &i) in order.iter().enumerate() {
+        if n > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        push_event(&mut out, &events[i]);
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: EventKind, name: &str, tid: u64, ts: u64) -> Event {
+        Event {
+            kind,
+            name: name.to_string(),
+            tid,
+            ts_us: ts,
+            span: 0,
+            parent: 0,
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn renders_all_phase_codes() {
+        let mut meta = ev(EventKind::Meta, "thread_name", 1, 0);
+        meta.args.push(("name", ArgValue::from("worker-0")));
+        let mut begin = ev(EventKind::Begin, "simulate", 1, 10);
+        begin.span = 3;
+        begin.parent = 1;
+        let events = vec![
+            meta,
+            begin,
+            ev(EventKind::Instant, "retry", 1, 15),
+            ev(EventKind::Counter, "cells_done", 0, 20),
+            ev(EventKind::End, "simulate", 1, 30),
+        ];
+        let body = render_chrome_trace(&events);
+        for code in [
+            "\"ph\":\"M\"",
+            "\"ph\":\"B\"",
+            "\"ph\":\"i\"",
+            "\"ph\":\"C\"",
+            "\"ph\":\"E\"",
+        ] {
+            assert!(body.contains(code), "missing {code} in {body}");
+        }
+        assert!(body.contains("\"s\":\"t\""), "instants are thread-scoped");
+        assert!(body.contains("\"span\":3") && body.contains("\"parent\":1"));
+        assert!(body.contains("worker-0"));
+        assert!(body.starts_with("{\"traceEvents\":["));
+    }
+
+    #[test]
+    fn sort_is_stable_for_equal_timestamps() {
+        // B and E at the same microsecond must keep recording order.
+        let events = vec![
+            ev(EventKind::Begin, "a", 0, 5),
+            ev(EventKind::End, "a", 0, 5),
+            ev(EventKind::Begin, "b", 0, 3),
+        ];
+        let body = render_chrome_trace(&events);
+        let b_pos = body.find("\"name\":\"b\"").unwrap();
+        let a_begin = body.find("\"name\":\"a\",\"ph\":\"B\"").unwrap();
+        let a_end = body.find("\"name\":\"a\",\"ph\":\"E\"").unwrap();
+        assert!(b_pos < a_begin, "earlier ts sorts first");
+        assert!(a_begin < a_end, "stable order preserved");
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let mut e = ev(EventKind::Instant, "weird\"name\n", 0, 0);
+        e.args.push(("msg", ArgValue::from("tab\there")));
+        let body = render_chrome_trace(&[e]);
+        assert!(body.contains("weird\\\"name\\n"), "{body}");
+        assert!(body.contains("tab\\there"), "{body}");
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let body = render_chrome_trace(&[]);
+        assert!(body.contains("\"traceEvents\":["));
+    }
+}

@@ -2,7 +2,7 @@
 //! workload, run it, and form the composite measurement.
 
 use rand::SeedStream;
-use vax780::{Measurement, System, SystemBuilder, SystemConfig};
+use vax780::{Measurement, ProcessSpec, System, SystemBuilder, SystemConfig};
 
 use crate::codegen::generate_process;
 use crate::profile::Workload;
@@ -12,18 +12,37 @@ use crate::profile::Workload;
 /// timeshares among at once.
 pub const PROCESSES_PER_WORKLOAD: usize = 6;
 
+/// The workload-codegen phase in isolation: generate the `nproc` user
+/// processes for a system seeded from `seed`, without booting anything.
+/// Splitting this from [`boot_system`] lets the harness time (and trace)
+/// code generation separately from kernel boot; the per-process seeds are
+/// identical to what [`build_system`] has always used.
+pub fn shard_processes(workload: Workload, nproc: usize, seed: u64) -> Vec<ProcessSpec> {
+    let profile = workload.profile();
+    (0..nproc)
+        .map(|i| {
+            let pseed = seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(i as u64 + 1);
+            generate_process(&profile, pseed)
+        })
+        .collect()
+}
+
+/// The kernel-boot phase in isolation: assemble and boot a system from
+/// pre-generated processes (see [`shard_processes`]).
+pub fn boot_system(processes: Vec<ProcessSpec>) -> System {
+    let mut builder = SystemBuilder::new(SystemConfig::default());
+    for spec in processes {
+        builder.add_process(spec);
+    }
+    builder.build()
+}
+
 /// Build a booted system running `workload` with `nproc` generated user
 /// processes (seeded deterministically from `seed`).
 pub fn build_system(workload: Workload, nproc: usize, seed: u64) -> System {
-    let profile = workload.profile();
-    let mut builder = SystemBuilder::new(SystemConfig::default());
-    for i in 0..nproc {
-        let pseed = seed
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(i as u64 + 1);
-        builder.add_process(generate_process(&profile, pseed));
-    }
-    builder.build()
+    boot_system(shard_processes(workload, nproc, seed))
 }
 
 /// The seed for replica shard `shard` of workload index `workload_index`

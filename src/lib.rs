@@ -15,4 +15,5 @@ pub use vax_arch;
 pub use vax_asm;
 pub use vax_cpu;
 pub use vax_mem;
+pub use vax_trace;
 pub use vax_workload;

@@ -1,0 +1,193 @@
+//! Property tests for the span-tree invariants behind `vax_trace`
+//! (see `docs/OBSERVABILITY.md`).
+//!
+//! The trace artifacts are only trustworthy if the emitter's structural
+//! promises hold for *every* recording pattern, not just the pipeline's
+//! happy path: child span intervals must nest inside their parents,
+//! per-phase totals must agree with the spans they summarize (and the
+//! children of the root must sum to no more than the root itself), and
+//! every serialized trace must pass the same `trace-check` validator CI
+//! runs against real runs. These tests drive randomized span trees —
+//! random fan-out, depth, and track interleavings — through the real
+//! tracer and check those invariants on the result.
+
+use std::collections::BTreeMap;
+
+use rand::prelude::{Rng, SeedableRng, StdRng};
+use vax_bench::tracecheck::{check_trace_text, KNOWN_PHASES};
+use vax_trace::{worker_tid, SpanId, SpanRec, Tracer, MAIN_TID};
+
+/// Grow a random subtree of spans under the current stack top of `tid`.
+/// Phase names come from the checker's known list so the serialized trace
+/// is also `trace-check`-clean. Returns the number of spans opened.
+fn grow_tree(tracer: &Tracer, rng: &mut StdRng, tid: u64, depth: usize) -> usize {
+    if depth == 0 {
+        return 0;
+    }
+    let mut opened = 0;
+    for _ in 0..rng.gen_range(1usize..4) {
+        let name = KNOWN_PHASES[rng.gen_range(0usize..KNOWN_PHASES.len())];
+        let guard = tracer.span(tid, name, vec![("depth", (depth as u64).into())]);
+        opened += 1;
+        if rng.gen_bool(0.6) {
+            opened += grow_tree(tracer, rng, tid, depth - 1);
+        }
+        drop(guard);
+    }
+    opened
+}
+
+/// Index spans by id for parent lookups.
+fn by_id(spans: &[SpanRec]) -> BTreeMap<SpanId, &SpanRec> {
+    spans.iter().map(|s| (s.id, s)).collect()
+}
+
+/// Assert every child's interval nests inside its parent's.
+fn assert_nesting(spans: &[SpanRec]) {
+    let index = by_id(spans);
+    for s in spans {
+        if s.parent == 0 {
+            continue;
+        }
+        let p = index
+            .get(&s.parent)
+            .unwrap_or_else(|| panic!("span {} has unknown parent {}", s.id, s.parent));
+        assert!(
+            s.start_us >= p.start_us && s.end_us <= p.end_us,
+            "child '{}' [{}, {}] escapes parent '{}' [{}, {}]",
+            s.name,
+            s.start_us,
+            s.end_us,
+            p.name,
+            p.start_us,
+            p.end_us
+        );
+    }
+}
+
+#[test]
+fn random_span_trees_nest_within_parents() {
+    for seed in 0u64..20 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tracer = Tracer::enabled();
+        let root = tracer.span(MAIN_TID, "run", vec![]);
+        let opened = grow_tree(&tracer, &mut rng, MAIN_TID, 3);
+        drop(root);
+
+        let spans = tracer.spans();
+        assert_eq!(spans.len(), opened + 1, "seed {seed}: all spans closed");
+        assert_nesting(&spans);
+        // Exactly one root, and it is the run span.
+        let roots: Vec<_> = spans.iter().filter(|s| s.parent == 0).collect();
+        assert_eq!(roots.len(), 1, "seed {seed}");
+        assert_eq!(roots[0].name, "run");
+    }
+}
+
+#[test]
+fn phase_totals_agree_with_spans_and_root_bounds_children() {
+    for seed in 100u64..110 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tracer = Tracer::enabled();
+        let root = tracer.span(MAIN_TID, "run", vec![]);
+        grow_tree(&tracer, &mut rng, MAIN_TID, 3);
+        drop(root);
+
+        let spans = tracer.spans();
+        // Per-phase totals must be exactly the sum over spans of that name.
+        let mut want: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+        for s in &spans {
+            let e = want.entry(s.name.clone()).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += s.dur_us();
+        }
+        let got = tracer.phase_totals();
+        assert_eq!(got.len(), want.len(), "seed {seed}");
+        for (name, (count, total)) in &want {
+            let t = &got[name];
+            assert_eq!(t.count, *count, "seed {seed}: count of '{name}'");
+            assert_eq!(t.total_us, *total, "seed {seed}: total of '{name}'");
+        }
+
+        // Direct children of the root run strictly inside it and never
+        // overlap (same track, stack discipline), so their durations sum
+        // to at most the root's — the root is the whole run, the
+        // children are its phases, and the difference is untraced gap.
+        let index = by_id(&spans);
+        let root_rec = spans.iter().find(|s| s.parent == 0).unwrap();
+        let child_sum: u64 = spans
+            .iter()
+            .filter(|s| s.parent == root_rec.id)
+            .map(|s| s.dur_us())
+            .sum();
+        assert!(
+            child_sum <= root_rec.dur_us(),
+            "seed {seed}: children ({child_sum} µs) exceed root ({} µs)",
+            root_rec.dur_us()
+        );
+        // Sanity: the index covers every parent reference.
+        assert!(spans
+            .iter()
+            .all(|s| s.parent == 0 || index.contains_key(&s.parent)));
+    }
+}
+
+#[test]
+fn interleaved_worker_tracks_serialize_to_a_valid_trace() {
+    for seed in 200u64..210 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tracer = Tracer::enabled();
+        tracer.set_thread_name(MAIN_TID, "main");
+        let run = tracer.span(MAIN_TID, "run", vec![]);
+
+        // Simulate a few workers interleaving: queue waits as complete
+        // spans, then a job/cell subtree, the way the pool records them.
+        for w in 0..rng.gen_range(1usize..4) {
+            let tid = worker_tid(w);
+            tracer.set_thread_name(tid, &format!("worker-{w}"));
+            for _ in 0..rng.gen_range(1usize..4) {
+                let wait_start = tracer.now_us();
+                tracer.complete(tid, "queue-wait", wait_start, vec![]);
+                let job = tracer.span_under(tid, "job", run.id(), vec![]);
+                grow_tree(&tracer, &mut rng, tid, 2);
+                drop(job);
+                if rng.gen_bool(0.3) {
+                    tracer.instant(tid, "retry", vec![]);
+                    tracer.count(tid, "retries", 1);
+                }
+            }
+        }
+        drop(run);
+
+        assert_nesting(&tracer.spans());
+        let summary = check_trace_text(&tracer.chrome_trace())
+            .unwrap_or_else(|e| panic!("seed {seed}: emitted trace failed trace-check: {e}"));
+        assert_eq!(summary.spans, tracer.spans().len(), "seed {seed}");
+    }
+}
+
+#[test]
+fn panic_unwind_still_yields_balanced_traces() {
+    // A panic mid-tree (caught, as the pool catches shard panics) must
+    // not leave the serialized trace unbalanced: guards drop during
+    // unwind, and `end` closes any spans a skipped guard left open.
+    for seed in 300u64..305 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tracer = Tracer::enabled();
+        let root = tracer.span(MAIN_TID, "run", vec![]);
+        let t = tracer.clone();
+        let mut r = StdRng::seed_from_u64(seed ^ 0xDEAD);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let _job = t.span(MAIN_TID, "job", vec![]);
+            grow_tree(&t, &mut r, MAIN_TID, 2);
+            let _cell = t.span(MAIN_TID, "cell", vec![]);
+            panic!("injected");
+        }));
+        grow_tree(&tracer, &mut rng, MAIN_TID, 2);
+        drop(root);
+
+        assert_nesting(&tracer.spans());
+        check_trace_text(&tracer.chrome_trace())
+            .unwrap_or_else(|e| panic!("seed {seed}: post-panic trace invalid: {e}"));
+    }
+}
