@@ -10,16 +10,22 @@
 //! yield event frequencies (specifier modes, TB misses).
 
 pub mod analysis;
+pub mod characterize;
 pub mod checkpoint;
 pub mod diffrun;
 pub mod export;
 pub mod json;
 pub mod paper;
 pub mod profile;
+pub mod refute;
 pub mod tables;
 pub mod validate;
 
 pub use analysis::Analysis;
+pub use characterize::{
+    attribute, costs_from_json, costs_json, costs_markdown, run_probe, select_grid, CostRecord,
+    CostTable, ProbeRun, SkipRecord,
+};
 pub use checkpoint::{cell_from_json, cell_to_json, CheckpointCell};
 pub use diffrun::{diff_json, DeltaKind, DiffReport, MetricDelta, Tolerance};
 pub use export::{
@@ -28,5 +34,6 @@ pub use export::{
 };
 pub use json::Json;
 pub use profile::{Profile, ProfileNode, RoutineProfile};
+pub use refute::{check_cell, minimize, refutation_json, Refutation, RefuteCheck, RefuteTolerance};
 pub use tables::print_all_tables;
 pub use validate::{validate, ValidationCheck, ValidationReport};

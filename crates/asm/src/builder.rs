@@ -30,6 +30,11 @@ pub enum Operand {
     Abs(u32),
     /// PC-relative reference to a label.
     Label(String),
+    /// PC-relative *deferred* reference to a label: the longword at the
+    /// label holds the operand's address (`@disp(PC)`). This is how the
+    /// probe generator reaches mode F/PC without hand-computed
+    /// displacements.
+    LabelDef(String),
     /// Indexed: base operand plus `[Rx]`.
     Indexed(Box<Operand>, Reg),
 }
@@ -54,7 +59,7 @@ impl Operand {
                 }
             }
             Operand::Abs(_) => 5,
-            Operand::Label(_) => 5, // always long PC-relative
+            Operand::Label(_) | Operand::LabelDef(_) => 5, // always long PC-relative
             Operand::Indexed(base, _) => 1 + base.encoded_len(size),
         }
     }
@@ -106,6 +111,17 @@ impl Operand {
                     .ok_or_else(|| AsmError::UndefinedLabel(name.clone()))?;
                 Specifier {
                     mode: vax_arch::AddressingMode::PcRelative,
+                    reg: Reg::PC,
+                    value: target.wrapping_sub(pc_after) as i32 as i64,
+                    index: None,
+                }
+            }
+            Operand::LabelDef(name) => {
+                let target = *labels
+                    .get(name)
+                    .ok_or_else(|| AsmError::UndefinedLabel(name.clone()))?;
+                Specifier {
+                    mode: vax_arch::AddressingMode::PcRelativeDeferred,
                     reg: Reg::PC,
                     value: target.wrapping_sub(pc_after) as i32 as i64,
                     index: None,

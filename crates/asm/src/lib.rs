@@ -25,7 +25,12 @@
 //! ```
 
 pub mod builder;
+pub mod probe;
 pub mod text;
 
 pub use builder::{Asm, AsmError, Image, Operand};
+pub use probe::{
+    mode_from_key, mode_key, probe_grid, probe_loop, probe_target, GridCell, ProbeLoop,
+    ProbeTarget, SkipReason,
+};
 pub use text::{parse, ParseError};

@@ -10,6 +10,10 @@
 //! reproduce diff BASELINE_DIR CANDIDATE_DIR [--abs-tol X] [--rel-tol X]
 //! reproduce bench-check BASELINE_JSON CANDIDATE_JSON_OR_DIR [--max-regression FRAC]
 //! reproduce resume DIR [--jobs N] [--retries N] [--shard-timeout SECS] [--strict]
+//! reproduce characterize [--opcodes M,..] [--modes k,..] [--reps N] [--iters N]
+//!           [--warmup N] [--jobs N] [--retries N] [--out DIR] [--list]
+//! reproduce refute <grid flags> [--model COSTS.json] [--abs-tol X] [--rel-tol X]
+//!           [--fixtures DIR] [--max-refutations N]
 //! ```
 //!
 //! `WHICH` ∈ {fig1, table1..table9, events, all} (default `all`).
@@ -45,7 +49,10 @@
 use std::path::{Path, PathBuf};
 
 use vax_analysis::{tables, Profile, RunManifest, Tolerance};
-use vax_bench::cli::{self, Command, DiffOptions, Format, Options, ResumeOptions};
+use vax_bench::charrun;
+use vax_bench::cli::{
+    self, CharacterizeOptions, Command, DiffOptions, Format, Options, ResumeOptions,
+};
 use vax_bench::diffcmd::{self, FileDiff};
 use vax_bench::fsio::write_atomic;
 use vax_bench::heartbeat::{runtime_json, Heartbeat};
@@ -97,6 +104,8 @@ fn main() {
         Command::Run(opts) => run(&opts),
         Command::Resume(r) => run_resume(&r),
         Command::TraceCheck(path) => run_trace_check(&path),
+        Command::Characterize(o) => run_characterize(&o),
+        Command::Refute(o) => run_refute(&o),
     };
     std::process::exit(code);
 }
@@ -181,6 +190,106 @@ fn flush_observability(
         }
     }
     code
+}
+
+/// `reproduce characterize`: run the directed-probe grid and emit the
+/// per-opcode cost table. `--out DIR` writes `costs.json` + `costs.md`
+/// (plus `runtime.json` when traced); without it the JSON goes to stdout.
+/// Exit 1 when any grid cell exhausted its retries.
+fn run_characterize(opts: &CharacterizeOptions) -> i32 {
+    let progress = Progress::new(opts.verbosity);
+    if opts.list {
+        print!("{}", charrun::render_grid_list(opts));
+        return 0;
+    }
+    let (tracer, heartbeat) = start_observability(opts.trace_out.as_deref(), opts.progress_ms);
+    let out = charrun::run_characterize(opts, &progress, &tracer);
+    let json = vax_analysis::costs_json(&out.table);
+    let mut code = i32::from(!out.failed_cells.is_empty());
+    match &opts.out {
+        Some(dir) => {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!(
+                    "reproduce characterize: cannot create {}: {e}",
+                    dir.display()
+                );
+                code = 1;
+            } else {
+                for (name, body) in [
+                    ("costs.json", json),
+                    ("costs.md", vax_analysis::costs_markdown(&out.table)),
+                ] {
+                    let path = dir.join(name);
+                    if let Err(e) = write_atomic(&path, &body) {
+                        eprintln!(
+                            "reproduce characterize: cannot write {}: {e}",
+                            path.display()
+                        );
+                        code = 1;
+                        break;
+                    }
+                    tracer.count(MAIN_TID, "bytes_exported", body.len() as u64);
+                }
+                progress.info(&format!(
+                    "wrote costs.json and costs.md to {}",
+                    dir.display()
+                ));
+            }
+        }
+        None => print!("{json}"),
+    }
+    drop(heartbeat);
+    let obs_code = flush_observability(
+        &tracer,
+        opts.trace_out.as_deref(),
+        opts.out.as_deref(),
+        &progress,
+    );
+    if code != 0 {
+        code
+    } else {
+        obs_code
+    }
+}
+
+/// `reproduce refute`: adversarial cross-checks over the probe grid.
+/// Exit 0 only when every cell survives every check; a refutation (or a
+/// quarantined cell) exits 1, and the minimized regression fixtures land
+/// in `--fixtures DIR`.
+fn run_refute(opts: &CharacterizeOptions) -> i32 {
+    let progress = Progress::new(opts.verbosity);
+    let (tracer, heartbeat) = start_observability(opts.trace_out.as_deref(), opts.progress_ms);
+    let code = match charrun::run_refute(opts, &progress, &tracer) {
+        Err(msg) => {
+            eprintln!("reproduce refute: {msg}");
+            2
+        }
+        Ok(out) => {
+            for (opcode, mode, checks) in &out.refuted_cells {
+                println!("REFUTED {opcode} {mode}: {}", checks.join(", "));
+            }
+            println!(
+                "refute: {} cell(s) checked, {} refuted, {} minimized, {} quarantined",
+                out.cells_checked,
+                out.refuted_cells.len(),
+                out.refutations.len(),
+                out.failed_cells.len()
+            );
+            i32::from(!out.refuted_cells.is_empty() || !out.failed_cells.is_empty())
+        }
+    };
+    drop(heartbeat);
+    let obs_code = flush_observability(
+        &tracer,
+        opts.trace_out.as_deref(),
+        opts.out.as_deref(),
+        &progress,
+    );
+    if code != 0 {
+        code
+    } else {
+        obs_code
+    }
 }
 
 /// `reproduce diff`: compare two run directories; 0 = within tolerance.

@@ -163,8 +163,76 @@ pub struct DiffOptions {
     pub rel_tol: f64,
 }
 
+/// Options shared by `reproduce characterize` and `reproduce refute`
+/// (refute adds the model/fixture knobs; characterize ignores them).
+#[derive(Debug, Clone)]
+pub struct CharacterizeOptions {
+    /// Opcode filter (mnemonics, upper-cased); empty = the full table.
+    pub opcodes: Vec<String>,
+    /// Addressing-mode filter (mode keys); empty = all 16 modes.
+    pub modes: Vec<String>,
+    /// Probe copies per loop iteration.
+    pub reps: u32,
+    /// Measured loop iterations per cell.
+    pub iters: u64,
+    /// Warmup instructions per cell.
+    pub warmup: u64,
+    /// Worker threads for the probe grid.
+    pub jobs: usize,
+    /// Retry budget per cell.
+    pub retries: u32,
+    /// Directory for `costs.json` / `costs.md` (and `runtime.json` when
+    /// traced). Stdout when absent (characterize only).
+    pub out: Option<PathBuf>,
+    /// Print the opcode × mode grid with skip reasons and exit — no
+    /// simulation (characterize only).
+    pub list: bool,
+    /// Stderr narration level.
+    pub verbosity: Verbosity,
+    /// Chrome-trace output file.
+    pub trace_out: Option<PathBuf>,
+    /// Progress-heartbeat period in ms.
+    pub progress_ms: Option<u64>,
+    /// Cost table to refute (`refute --model costs.json`).
+    pub model: Option<PathBuf>,
+    /// Absolute model tolerance, cycles per instruction.
+    pub abs_tol: f64,
+    /// Relative model tolerance.
+    pub rel_tol: f64,
+    /// Directory for minimized refutation fixtures (refute only).
+    pub fixtures: Option<PathBuf>,
+    /// Minimize and record at most this many refutations (the rest are
+    /// still counted and reported).
+    pub max_refutations: usize,
+}
+
+impl Default for CharacterizeOptions {
+    fn default() -> CharacterizeOptions {
+        CharacterizeOptions {
+            opcodes: Vec::new(),
+            modes: Vec::new(),
+            reps: 8,
+            iters: 64,
+            warmup: 2000,
+            jobs: 1,
+            retries: 0,
+            out: None,
+            list: false,
+            verbosity: Verbosity::Normal,
+            trace_out: None,
+            progress_ms: None,
+            model: None,
+            abs_tol: 0.5,
+            rel_tol: 0.01,
+            fixtures: None,
+            max_refutations: 8,
+        }
+    }
+}
+
 /// A parsed invocation: the measurement run, the run-directory diff, the
-/// host-throughput gate, the checkpoint resume, or the trace validator.
+/// host-throughput gate, the checkpoint resume, the trace validator, or
+/// the characterization observatory (cost tables / counter refutation).
 #[derive(Debug, Clone)]
 pub enum Command {
     /// The default five-workload measurement run.
@@ -178,6 +246,11 @@ pub enum Command {
     /// `reproduce trace-check FILE`: validate a Chrome-trace file's
     /// structural invariants.
     TraceCheck(PathBuf),
+    /// `reproduce characterize`: per-opcode × addressing-mode cost table.
+    Characterize(CharacterizeOptions),
+    /// `reproduce refute`: adversarial counter cross-checks over the same
+    /// probe grid.
+    Refute(CharacterizeOptions),
 }
 
 /// One-line usage string.
@@ -194,7 +267,13 @@ pub fn usage() -> String {
      [--max-regression FRAC]\n\
      \x20      reproduce resume DIR [--jobs N] [--retries N] [--shard-timeout SECS] \
      [--strict] [--quiet|--verbose] [--trace-out FILE] [--progress[=MS]]\n\
-     \x20      reproduce trace-check TRACE_JSON"
+     \x20      reproduce trace-check TRACE_JSON\n\
+     \x20      reproduce characterize [--opcodes M1,M2,..] [--modes K1,K2,..] \
+     [--reps N] [--iters N] [--warmup N] [--jobs N] [--retries N] [--out DIR] \
+     [--list] [--quiet|--verbose] [--trace-out FILE] [--progress[=MS]]\n\
+     \x20      reproduce refute [same as characterize, minus --list] \
+     [--model COSTS_JSON] [--abs-tol X] [--rel-tol X] [--fixtures DIR] \
+     [--max-refutations N]"
         .to_string()
 }
 
@@ -229,8 +308,156 @@ pub fn parse_command(args: &[String]) -> Result<Command, String> {
         Some("bench-check") => parse_bench_check_args(&args[1..]).map(Command::BenchCheck),
         Some("resume") => parse_resume_args(&args[1..]).map(Command::Resume),
         Some("trace-check") => parse_trace_check_args(&args[1..]).map(Command::TraceCheck),
+        Some("characterize") => {
+            parse_characterize_args(&args[1..], false).map(Command::Characterize)
+        }
+        Some("refute") => parse_characterize_args(&args[1..], true).map(Command::Refute),
         _ => parse_args(args).map(Command::Run),
     }
+}
+
+/// Parse `reproduce characterize` / `reproduce refute` arguments (after
+/// the subcommand word). `refute` unlocks the model/fixture flags and
+/// locks `--list`.
+pub fn parse_characterize_args(
+    args: &[String],
+    refute: bool,
+) -> Result<CharacterizeOptions, String> {
+    let cmd = if refute { "refute" } else { "characterize" };
+    let mut opts = CharacterizeOptions::default();
+    let mut quiet = false;
+    let mut verbose = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--opcodes" => {
+                i += 1;
+                let raw = args
+                    .get(i)
+                    .ok_or_else(|| "--opcodes requires a comma-separated list".to_string())?;
+                for mn in raw.split(',').filter(|s| !s.is_empty()) {
+                    if vax_arch::Opcode::from_mnemonic(mn).is_none() {
+                        return Err(format!("unknown opcode '{mn}' in --opcodes"));
+                    }
+                    opts.opcodes.push(mn.to_uppercase());
+                }
+                if opts.opcodes.is_empty() {
+                    return Err("--opcodes requires at least one mnemonic".to_string());
+                }
+            }
+            "--modes" => {
+                i += 1;
+                let raw = args
+                    .get(i)
+                    .ok_or_else(|| "--modes requires a comma-separated list".to_string())?;
+                for key in raw.split(',').filter(|s| !s.is_empty()) {
+                    if vax_asm::probe::mode_from_key(key).is_none() {
+                        return Err(format!(
+                            "unknown addressing mode '{key}' in --modes (e.g. register, \
+                             byte_disp, pc_relative_deferred)"
+                        ));
+                    }
+                    opts.modes.push(key.to_string());
+                }
+                if opts.modes.is_empty() {
+                    return Err("--modes requires at least one mode key".to_string());
+                }
+            }
+            "--reps" => {
+                i += 1;
+                let n = parse_u64("--reps", args.get(i))?;
+                if n == 0 || n > u64::from(vax_asm::probe::MAX_REPS) {
+                    return Err(format!(
+                        "--reps must be between 1 and {}",
+                        vax_asm::probe::MAX_REPS
+                    ));
+                }
+                opts.reps = n as u32;
+            }
+            "--iters" => {
+                i += 1;
+                opts.iters = parse_u64("--iters", args.get(i))?;
+                if opts.iters == 0 {
+                    return Err("--iters must be at least 1".to_string());
+                }
+            }
+            "--warmup" => {
+                i += 1;
+                opts.warmup = parse_u64("--warmup", args.get(i))?;
+            }
+            "--jobs" => {
+                i += 1;
+                let n = parse_u64("--jobs", args.get(i))?;
+                if n == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+                opts.jobs = n as usize;
+            }
+            "--retries" => {
+                i += 1;
+                opts.retries = parse_u64("--retries", args.get(i))? as u32;
+            }
+            "--out" => {
+                i += 1;
+                let dir = args
+                    .get(i)
+                    .ok_or_else(|| "--out requires a directory".to_string())?;
+                opts.out = Some(PathBuf::from(dir));
+            }
+            "--list" if !refute => opts.list = true,
+            "--model" if refute => {
+                i += 1;
+                let file = args
+                    .get(i)
+                    .ok_or_else(|| "--model requires a costs.json path".to_string())?;
+                opts.model = Some(PathBuf::from(file));
+            }
+            "--abs-tol" if refute => {
+                i += 1;
+                opts.abs_tol = parse_f64("--abs-tol", args.get(i))?;
+            }
+            "--rel-tol" if refute => {
+                i += 1;
+                opts.rel_tol = parse_f64("--rel-tol", args.get(i))?;
+            }
+            "--fixtures" if refute => {
+                i += 1;
+                let dir = args
+                    .get(i)
+                    .ok_or_else(|| "--fixtures requires a directory".to_string())?;
+                opts.fixtures = Some(PathBuf::from(dir));
+            }
+            "--max-refutations" if refute => {
+                i += 1;
+                opts.max_refutations = parse_u64("--max-refutations", args.get(i))? as usize;
+            }
+            "--trace-out" => {
+                i += 1;
+                let file = args
+                    .get(i)
+                    .ok_or_else(|| "--trace-out requires a file path".to_string())?;
+                opts.trace_out = Some(PathBuf::from(file));
+            }
+            flag if flag == "--progress" || flag.starts_with("--progress=") => {
+                opts.progress_ms = Some(parse_progress(flag)?);
+            }
+            "--quiet" => quiet = true,
+            "--verbose" => verbose = true,
+            other => return Err(format!("unknown argument '{other}' for {cmd}\n{}", usage())),
+        }
+        i += 1;
+    }
+    if quiet && verbose {
+        return Err("--quiet and --verbose are mutually exclusive".to_string());
+    }
+    opts.verbosity = if quiet {
+        Verbosity::Quiet
+    } else if verbose {
+        Verbosity::Verbose
+    } else {
+        Verbosity::Normal
+    };
+    Ok(opts)
 }
 
 /// Parse `reproduce trace-check` arguments: exactly one trace file.
@@ -932,6 +1159,111 @@ mod tests {
         assert!(parse_cmd(&["bench-check", "a", "b", "--frobnicate"])
             .unwrap_err()
             .contains("--frobnicate"));
+    }
+
+    #[test]
+    fn characterize_subcommand_parses() {
+        let cmd = parse_cmd(&[
+            "characterize",
+            "--opcodes",
+            "movl,ADDL2",
+            "--modes",
+            "register,byte_disp",
+            "--reps",
+            "4",
+            "--iters",
+            "32",
+            "--warmup",
+            "500",
+            "--jobs",
+            "4",
+            "--out",
+            "/tmp/ch",
+            "--list",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Characterize(o) => {
+                assert_eq!(o.opcodes, vec!["MOVL", "ADDL2"]);
+                assert_eq!(o.modes, vec!["register", "byte_disp"]);
+                assert_eq!(o.reps, 4);
+                assert_eq!(o.iters, 32);
+                assert_eq!(o.warmup, 500);
+                assert_eq!(o.jobs, 4);
+                assert_eq!(o.out.as_deref(), Some(std::path::Path::new("/tmp/ch")));
+                assert!(o.list);
+            }
+            _ => panic!("expected characterize"),
+        }
+
+        // Defaults.
+        match parse_cmd(&["characterize"]).unwrap() {
+            Command::Characterize(o) => {
+                assert!(o.opcodes.is_empty() && o.modes.is_empty());
+                assert_eq!((o.reps, o.iters, o.warmup), (8, 64, 2000));
+                assert!(!o.list);
+            }
+            _ => panic!("expected characterize"),
+        }
+    }
+
+    #[test]
+    fn characterize_rejects_bad_values() {
+        assert!(parse_cmd(&["characterize", "--opcodes", "NOPE"])
+            .unwrap_err()
+            .contains("unknown opcode 'NOPE'"));
+        assert!(parse_cmd(&["characterize", "--modes", "sideways"])
+            .unwrap_err()
+            .contains("unknown addressing mode"));
+        assert!(parse_cmd(&["characterize", "--reps", "0"])
+            .unwrap_err()
+            .contains("--reps"));
+        assert!(parse_cmd(&["characterize", "--reps", "99"])
+            .unwrap_err()
+            .contains("--reps"));
+        assert!(parse_cmd(&["characterize", "--iters", "0"]).is_err());
+        // Refute-only flags are rejected outside refute.
+        assert!(parse_cmd(&["characterize", "--model", "m.json"])
+            .unwrap_err()
+            .contains("--model"));
+        assert!(parse_cmd(&["characterize", "--frobnicate"])
+            .unwrap_err()
+            .contains("--frobnicate"));
+    }
+
+    #[test]
+    fn refute_subcommand_parses() {
+        let cmd = parse_cmd(&[
+            "refute",
+            "--opcodes",
+            "movl",
+            "--model",
+            "costs.json",
+            "--abs-tol",
+            "0.25",
+            "--rel-tol",
+            "0.05",
+            "--fixtures",
+            "/tmp/fx",
+            "--max-refutations",
+            "3",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Refute(o) => {
+                assert_eq!(o.opcodes, vec!["MOVL"]);
+                assert_eq!(o.model.as_deref(), Some(std::path::Path::new("costs.json")));
+                assert_eq!(o.abs_tol, 0.25);
+                assert_eq!(o.rel_tol, 0.05);
+                assert_eq!(o.fixtures.as_deref(), Some(std::path::Path::new("/tmp/fx")));
+                assert_eq!(o.max_refutations, 3);
+            }
+            _ => panic!("expected refute"),
+        }
+        // --list is characterize-only.
+        assert!(parse_cmd(&["refute", "--list"])
+            .unwrap_err()
+            .contains("--list"));
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub const COMPARED_FILES: &[&str] = &[
     "timeseries.json",
     "validation.json",
     "profile.json",
+    "costs.json",
     "runtime.json",
 ];
 

@@ -5,6 +5,7 @@
 //! and the Criterion benches under `benches/`.
 
 pub mod benchcheck;
+pub mod charrun;
 pub mod cli;
 pub mod diffcmd;
 pub mod fsio;

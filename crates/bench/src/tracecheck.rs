@@ -38,6 +38,12 @@ pub const KNOWN_PHASES: &[&str] = &[
     "checkpoint",
     "merge",
     "export",
+    // `reproduce characterize` / `reproduce refute` probe pipeline.
+    "baseline",
+    "probe",
+    "attribute",
+    "refute",
+    "minimize",
 ];
 
 /// Chrome Trace Event phase codes the harness may emit (plus `X` and `I`,

@@ -40,3 +40,4 @@ pub use measurement::Measurement;
 pub use merge::{merge_ordered, Mergeable};
 pub use sampler::{IntervalSample, TimeSeries};
 pub use system::{ProcessSpec, System, SystemBuilder, SystemConfig};
+pub use vax_cpu::CpuConfig;

@@ -16,9 +16,11 @@
 //! RTE experiments.
 
 pub mod codegen;
+pub mod probe;
 pub mod profile;
 pub mod rte;
 
 pub use codegen::generate_process;
+pub use probe::{probe_system, quiesced_config};
 pub use profile::{Workload, WorkloadProfile};
 pub use rte::{build_system, composite_measurement, run_workload};
