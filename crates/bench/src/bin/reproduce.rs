@@ -14,6 +14,7 @@
 //!           [--warmup N] [--jobs N] [--retries N] [--out DIR] [--list]
 //! reproduce refute <grid flags> [--model COSTS.json] [--abs-tol X] [--rel-tol X]
 //!           [--fixtures DIR] [--max-refutations N]
+//! reproduce serve [--addr HOST:PORT] [--root DIR] [--jobs N] [--retries N]
 //! ```
 //!
 //! `WHICH` ∈ {fig1, table1..table9, events, all} (default `all`).
@@ -45,39 +46,22 @@
 //! faults; `--retries`/`--shard-timeout`/`--strict` supervise shard
 //! failures; `resume` finishes an interrupted `--out` run from its
 //! checkpoints. See `docs/ROBUSTNESS.md`.
+//!
+//! `serve` turns the same engine into a long-lived HTTP daemon with warm
+//! codegen/boot caches; see `docs/SERVICE.md`.
+//!
+//! Every experiment path goes through `vax_bench::engine::JobEngine` —
+//! this file only parses argv, prints the outcome's stdout, and exits
+//! with its code, so a CLI run and a served job of the same spec are the
+//! same computation.
 
-use std::path::{Path, PathBuf};
+use std::path::Path;
 
-use vax_analysis::{tables, Profile, RunManifest, Tolerance};
-use vax_bench::charrun;
-use vax_bench::cli::{
-    self, CharacterizeOptions, Command, DiffOptions, Format, Options, ResumeOptions,
-};
+use vax_analysis::Tolerance;
+use vax_bench::cli::{self, Command, DiffOptions};
 use vax_bench::diffcmd::{self, FileDiff};
-use vax_bench::fsio::write_atomic;
-use vax_bench::heartbeat::{runtime_json, Heartbeat};
-use vax_bench::meter::HostMeter;
-use vax_bench::progress::Progress;
-use vax_bench::runner::{self, RunOutput};
+use vax_bench::engine::{JobEngine, JobRequest};
 use vax_bench::tracecheck;
-use vax_trace::{Tracer, MAIN_TID};
-
-fn fig1() -> String {
-    // Figure 1 is the 780 block diagram; we reproduce it as the simulated
-    // component inventory.
-    let mut s = String::new();
-    s.push_str("Figure 1 — VAX-11/780 block diagram (simulated configuration)\n");
-    s.push_str("  CPU pipeline:\n");
-    s.push_str("    I-Fetch   : 8-byte instruction buffer, one outstanding longword fill\n");
-    s.push_str("    I-Decode  : one non-overlapped cycle per instruction\n");
-    s.push_str("    EBOX      : microcoded; 200 ns microcycle; synthetic control store\n");
-    s.push_str("  Memory subsystem:\n");
-    s.push_str("    TB        : 128 entries, 2-way, split system/process halves\n");
-    s.push_str("    Cache     : 8 KB, 2-way, 8-byte blocks, write-through, no write-allocate\n");
-    s.push_str("    Write buf : one longword, 6-cycle drain\n");
-    s.push_str("    SBI       : shared path to 8 MB memory, 6-cycle read miss\n");
-    s
-}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -101,13 +85,21 @@ fn main() {
                 1
             }
         },
-        Command::Run(opts) => run(&opts),
-        Command::Resume(r) => run_resume(&r),
+        Command::Run(opts) => run_engine(JobRequest::Run(opts)),
+        Command::Resume(r) => run_engine(JobRequest::Resume(r)),
         Command::TraceCheck(path) => run_trace_check(&path),
-        Command::Characterize(o) => run_characterize(&o),
-        Command::Refute(o) => run_refute(&o),
+        Command::Characterize(o) => run_engine(JobRequest::Characterize(o)),
+        Command::Refute(o) => run_engine(JobRequest::Refute(o)),
+        Command::Serve(o) => vax_bench::serve::run_serve(&o),
     };
     std::process::exit(code);
+}
+
+/// Hand a job to a fresh engine and print what it would have printed.
+fn run_engine(req: JobRequest) -> i32 {
+    let outcome = JobEngine::new().execute(&req);
+    print!("{}", outcome.stdout);
+    outcome.code
 }
 
 /// `reproduce trace-check`: validate a Chrome-trace file; 0 = clean.
@@ -121,174 +113,6 @@ fn run_trace_check(path: &Path) -> i32 {
             eprintln!("reproduce trace-check: {msg}");
             1
         }
-    }
-}
-
-/// Build the run's tracer (and heartbeat) from the observability flags:
-/// either `--trace-out` or `--progress` enables recording; without them
-/// the tracer is the no-op disabled handle the hot path never notices.
-/// When a trace file is requested, any panic flushes the partial buffer
-/// there, so even a crashed run leaves an openable trace.
-fn start_observability(
-    trace_out: Option<&Path>,
-    progress_ms: Option<u64>,
-) -> (Tracer, Option<Heartbeat>) {
-    let tracer = if trace_out.is_some() || progress_ms.is_some() {
-        Tracer::enabled()
-    } else {
-        Tracer::disabled()
-    };
-    if let Some(path) = trace_out {
-        tracer.register_panic_flush(path);
-    }
-    let heartbeat = progress_ms.map(|ms| Heartbeat::start(tracer.clone(), ms));
-    (tracer, heartbeat)
-}
-
-/// Write the post-run observability artifacts: the Chrome trace to
-/// `--trace-out`, and (when the run exported into a directory) the
-/// `runtime.json` roll-up next to the other artifacts. Failures here are
-/// reported but never override the run's own exit code with success —
-/// they only turn a clean exit into a failure.
-fn flush_observability(
-    tracer: &Tracer,
-    trace_out: Option<&Path>,
-    out_dir: Option<&Path>,
-    progress: &Progress,
-) -> i32 {
-    if !tracer.is_enabled() {
-        return 0;
-    }
-    let mut code = 0;
-    if let Some(path) = trace_out {
-        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
-            if let Err(e) = std::fs::create_dir_all(dir) {
-                eprintln!("reproduce: cannot create {}: {e}", dir.display());
-                code = 1;
-            }
-        }
-        match write_atomic(path, &tracer.chrome_trace()) {
-            Ok(()) => progress.info(&format!("wrote {}", path.display())),
-            Err(e) => {
-                eprintln!("reproduce: cannot write {}: {e}", path.display());
-                code = 1;
-            }
-        }
-    }
-    if let Some(dir) = out_dir {
-        let path = dir.join("runtime.json");
-        let body = runtime_json(tracer).to_string_pretty();
-        match std::fs::create_dir_all(dir)
-            .map_err(|e| e.to_string())
-            .and_then(|()| write_atomic(&path, &body).map_err(|e| e.to_string()))
-        {
-            Ok(()) => progress.info(&format!("wrote {}", path.display())),
-            Err(e) => {
-                eprintln!("reproduce: cannot write {}: {e}", path.display());
-                code = 1;
-            }
-        }
-    }
-    code
-}
-
-/// `reproduce characterize`: run the directed-probe grid and emit the
-/// per-opcode cost table. `--out DIR` writes `costs.json` + `costs.md`
-/// (plus `runtime.json` when traced); without it the JSON goes to stdout.
-/// Exit 1 when any grid cell exhausted its retries.
-fn run_characterize(opts: &CharacterizeOptions) -> i32 {
-    let progress = Progress::new(opts.verbosity);
-    if opts.list {
-        print!("{}", charrun::render_grid_list(opts));
-        return 0;
-    }
-    let (tracer, heartbeat) = start_observability(opts.trace_out.as_deref(), opts.progress_ms);
-    let out = charrun::run_characterize(opts, &progress, &tracer);
-    let json = vax_analysis::costs_json(&out.table);
-    let mut code = i32::from(!out.failed_cells.is_empty());
-    match &opts.out {
-        Some(dir) => {
-            if let Err(e) = std::fs::create_dir_all(dir) {
-                eprintln!(
-                    "reproduce characterize: cannot create {}: {e}",
-                    dir.display()
-                );
-                code = 1;
-            } else {
-                for (name, body) in [
-                    ("costs.json", json),
-                    ("costs.md", vax_analysis::costs_markdown(&out.table)),
-                ] {
-                    let path = dir.join(name);
-                    if let Err(e) = write_atomic(&path, &body) {
-                        eprintln!(
-                            "reproduce characterize: cannot write {}: {e}",
-                            path.display()
-                        );
-                        code = 1;
-                        break;
-                    }
-                    tracer.count(MAIN_TID, "bytes_exported", body.len() as u64);
-                }
-                progress.info(&format!(
-                    "wrote costs.json and costs.md to {}",
-                    dir.display()
-                ));
-            }
-        }
-        None => print!("{json}"),
-    }
-    drop(heartbeat);
-    let obs_code = flush_observability(
-        &tracer,
-        opts.trace_out.as_deref(),
-        opts.out.as_deref(),
-        &progress,
-    );
-    if code != 0 {
-        code
-    } else {
-        obs_code
-    }
-}
-
-/// `reproduce refute`: adversarial cross-checks over the probe grid.
-/// Exit 0 only when every cell survives every check; a refutation (or a
-/// quarantined cell) exits 1, and the minimized regression fixtures land
-/// in `--fixtures DIR`.
-fn run_refute(opts: &CharacterizeOptions) -> i32 {
-    let progress = Progress::new(opts.verbosity);
-    let (tracer, heartbeat) = start_observability(opts.trace_out.as_deref(), opts.progress_ms);
-    let code = match charrun::run_refute(opts, &progress, &tracer) {
-        Err(msg) => {
-            eprintln!("reproduce refute: {msg}");
-            2
-        }
-        Ok(out) => {
-            for (opcode, mode, checks) in &out.refuted_cells {
-                println!("REFUTED {opcode} {mode}: {}", checks.join(", "));
-            }
-            println!(
-                "refute: {} cell(s) checked, {} refuted, {} minimized, {} quarantined",
-                out.cells_checked,
-                out.refuted_cells.len(),
-                out.refutations.len(),
-                out.failed_cells.len()
-            );
-            i32::from(!out.refuted_cells.is_empty() || !out.failed_cells.is_empty())
-        }
-    };
-    drop(heartbeat);
-    let obs_code = flush_observability(
-        &tracer,
-        opts.trace_out.as_deref(),
-        opts.out.as_deref(),
-        &progress,
-    );
-    if code != 0 {
-        code
-    } else {
-        obs_code
     }
 }
 
@@ -308,214 +132,5 @@ fn run_diff(d: &DiffOptions) -> i32 {
             eprintln!("reproduce diff: {e}");
             1
         }
-    }
-}
-
-/// The measurement run. Returns the process exit code.
-fn run(opts: &Options) -> i32 {
-    let progress = Progress::new(opts.verbosity);
-
-    if opts.experiment == "fig1" {
-        print!("{}", fig1());
-        return 0;
-    }
-
-    let (tracer, heartbeat) = start_observability(opts.trace_out.as_deref(), opts.progress_ms);
-
-    // Meter only the simulation itself, not rendering or artifact I/O.
-    let meter = HostMeter::start();
-    let out = runner::run_composite_traced(opts, &progress, &tracer);
-    let bench = meter.finish(out.analysis.cycles, out.analysis.instructions);
-    progress.info(&bench.summary());
-    if let Some(dir) = &opts.bench_out {
-        match bench.write_to(dir) {
-            Ok(path) => progress.info(&format!("wrote {}", path.display())),
-            Err(e) => {
-                eprintln!("reproduce: {e}");
-                return 1;
-            }
-        }
-    }
-    let code = render_and_export(opts, &out, &progress, &tracer);
-    drop(heartbeat);
-    let obs_code = flush_observability(
-        &tracer,
-        opts.trace_out.as_deref(),
-        opts.out.as_deref(),
-        &progress,
-    );
-    if code != 0 {
-        code
-    } else {
-        obs_code
-    }
-}
-
-/// `reproduce resume`: finish an interrupted `--out` run from its
-/// checkpoints, then render/export exactly as the original invocation
-/// would have. Returns the process exit code.
-fn run_resume(resume: &ResumeOptions) -> i32 {
-    let progress = Progress::new(resume.verbosity);
-    let (tracer, heartbeat) = start_observability(resume.trace_out.as_deref(), resume.progress_ms);
-    let (opts, out) = match runner::resume_composite_traced(resume, &progress, &tracer) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("reproduce resume: {e}");
-            return 1;
-        }
-    };
-    let code = render_and_export(&opts, &out, &progress, &tracer);
-    drop(heartbeat);
-    let obs_code = flush_observability(
-        &tracer,
-        resume.trace_out.as_deref(),
-        opts.out.as_deref(),
-        &progress,
-    );
-    if code != 0 {
-        code
-    } else {
-        obs_code
-    }
-}
-
-/// Everything downstream of the simulation: profile, per-workload CPIs,
-/// exports, and the exit code. Shared by `run` and `resume` so a resumed
-/// run's artifacts come from the same code path (and the same bytes) as an
-/// uninterrupted one.
-fn render_and_export(opts: &Options, out: &RunOutput, progress: &Progress, tracer: &Tracer) -> i32 {
-    let _export = tracer.span(MAIN_TID, "export", vec![]);
-    // The µPC attribution profile: folded stacks + JSON always go to a
-    // directory (--out if given, else the working directory); the top-N
-    // report goes to stdout in text mode and stderr in json mode so the
-    // machine-readable stream stays clean.
-    if opts.profile {
-        let profile = Profile::new(&out.cs.map, &out.analysis.m.hist);
-        let dir = opts.out.clone().unwrap_or_else(|| PathBuf::from("."));
-        if let Err(e) = std::fs::create_dir_all(&dir) {
-            eprintln!("reproduce: cannot create {}: {e}", dir.display());
-            return 1;
-        }
-        for (name, body) in [
-            ("profile.folded", profile.folded()),
-            ("profile.json", profile.to_json().to_string_pretty()),
-        ] {
-            let path = dir.join(name);
-            if let Err(e) = write_atomic(&path, &body) {
-                eprintln!("reproduce: cannot write {}: {e}", path.display());
-                return 1;
-            }
-            tracer.count(MAIN_TID, "bytes_exported", body.len() as u64);
-        }
-        progress.info(&format!(
-            "wrote profile.folded and profile.json to {}",
-            dir.display()
-        ));
-        let report = profile.top_routines_report(opts.top);
-        match opts.format {
-            Format::Text => println!("{report}"),
-            Format::Json => progress.info(&report),
-        }
-    }
-
-    if opts.per_workload {
-        let mut s = String::from("Per-workload CPI:\n");
-        for (w, cpi) in &out.per_workload {
-            s.push_str(&format!("  {:<34} {cpi:>6.2}\n", w.name()));
-        }
-        match opts.format {
-            Format::Text => println!("{s}"),
-            Format::Json => progress.info(&s),
-        }
-    }
-
-    if opts.format == Format::Json {
-        let manifest = RunManifest {
-            experiment: opts.experiment.clone(),
-            seed: Some(opts.seed),
-            instructions: opts.instructions,
-            warmup: opts.instructions / 10,
-            interval_cycles: opts.interval_cycles,
-            shards: opts.shards,
-            config: "default VAX-11/780 configuration, 5-workload composite".to_string(),
-            fault_seed: opts.fault_seed,
-            fault_classes: opts
-                .fault_classes
-                .iter()
-                .map(|c| c.name().to_string())
-                .collect(),
-            degraded: out.degraded,
-            failed_cells: out
-                .failed_cells
-                .iter()
-                .map(|(w, s)| (w.name().to_string(), *s))
-                .collect(),
-        };
-        let files =
-            vax_analysis::run_artifacts(&manifest, &out.analysis, &out.series, &out.validation);
-        match &opts.out {
-            Some(dir) => {
-                if let Err(e) = std::fs::create_dir_all(dir) {
-                    eprintln!("reproduce: cannot create {}: {e}", dir.display());
-                    return 1;
-                }
-                for (name, body) in &files {
-                    let path = dir.join(name);
-                    if let Err(e) = write_atomic(&path, body) {
-                        eprintln!("reproduce: cannot write {}: {e}", path.display());
-                        return 1;
-                    }
-                    tracer.count(MAIN_TID, "bytes_exported", body.len() as u64);
-                }
-                progress.info(&format!(
-                    "wrote {} artifacts to {}",
-                    files.len(),
-                    dir.display()
-                ));
-            }
-            None => {
-                let tables = files
-                    .iter()
-                    .find(|(name, _)| *name == "tables.json")
-                    .map(|(_, body)| body.as_str())
-                    .unwrap();
-                print!("{tables}");
-            }
-        }
-        return exit_code(opts, out);
-    }
-
-    let rendered = match opts.experiment.as_str() {
-        "all" => {
-            let mut s = fig1();
-            s.push('\n');
-            s.push_str(&tables::print_all_tables(&out.analysis));
-            s
-        }
-        "table1" => tables::table1(&out.analysis),
-        "table2" => tables::table2(&out.analysis),
-        "table3" => tables::table3(&out.analysis),
-        "table4" => tables::table4(&out.analysis),
-        "table5" => tables::table5(&out.analysis),
-        "table6" => tables::table6(&out.analysis),
-        "table7" => tables::table7(&out.analysis),
-        "table8" => tables::table8(&out.analysis),
-        "table9" => tables::table9(&out.analysis),
-        "events" => tables::events(&out.analysis),
-        other => unreachable!("experiment '{other}' passed validation but has no renderer"),
-    };
-    print!("{rendered}");
-    exit_code(opts, out)
-}
-
-/// Exit code policy: validation divergence always fails; a degraded run
-/// (quarantined cells) fails only under `--strict` — without it the
-/// partial results are still worth exiting 0 for, and the manifest records
-/// the damage.
-fn exit_code(opts: &Options, out: &RunOutput) -> i32 {
-    if !out.validation.is_clean() || (opts.strict && out.degraded) {
-        1
-    } else {
-        0
     }
 }

@@ -15,6 +15,7 @@ use std::path::PathBuf;
 
 use vax780::FaultClass;
 
+use crate::options::{parse_f64, parse_shard_timeout, parse_u64, CommonOpts};
 use crate::progress::Verbosity;
 
 /// Valid `--experiment` values.
@@ -150,6 +151,35 @@ pub struct ResumeOptions {
     pub progress_ms: Option<u64>,
 }
 
+/// Options for `reproduce serve`: the long-lived characterization daemon.
+/// Engine-level knobs (`--jobs`, `--retries`) set the defaults a submitted
+/// `JobSpec` inherits when it leaves them unspecified.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// `HOST:PORT` to bind (default `127.0.0.1:4780`).
+    pub addr: String,
+    /// Root directory for per-job run directories (default `serve-runs`).
+    pub root: PathBuf,
+    /// Default worker threads per job.
+    pub jobs: usize,
+    /// Default retry budget per cell.
+    pub retries: u32,
+    /// Stderr narration level.
+    pub verbosity: Verbosity,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            addr: "127.0.0.1:4780".to_string(),
+            root: PathBuf::from("serve-runs"),
+            jobs: 1,
+            retries: 0,
+            verbosity: Verbosity::Normal,
+        }
+    }
+}
+
 /// Options for `reproduce diff`.
 #[derive(Debug, Clone)]
 pub struct DiffOptions {
@@ -251,6 +281,8 @@ pub enum Command {
     /// `reproduce refute`: adversarial counter cross-checks over the same
     /// probe grid.
     Refute(CharacterizeOptions),
+    /// `reproduce serve`: HTTP job daemon over the same engine.
+    Serve(ServeOptions),
 }
 
 /// One-line usage string.
@@ -273,27 +305,10 @@ pub fn usage() -> String {
      [--list] [--quiet|--verbose] [--trace-out FILE] [--progress[=MS]]\n\
      \x20      reproduce refute [same as characterize, minus --list] \
      [--model COSTS_JSON] [--abs-tol X] [--rel-tol X] [--fixtures DIR] \
-     [--max-refutations N]"
+     [--max-refutations N]\n\
+     \x20      reproduce serve [--addr HOST:PORT] [--root DIR] [--jobs N] \
+     [--retries N] [--quiet|--verbose]"
         .to_string()
-}
-
-fn parse_u64(flag: &str, value: Option<&String>) -> Result<u64, String> {
-    let raw = value.ok_or_else(|| format!("{flag} requires a value"))?;
-    raw.parse()
-        .map_err(|_| format!("invalid value for {flag}: '{raw}' (expected a non-negative integer)"))
-}
-
-fn parse_f64(flag: &str, value: Option<&String>) -> Result<f64, String> {
-    let raw = value.ok_or_else(|| format!("{flag} requires a value"))?;
-    let v: f64 = raw
-        .parse()
-        .map_err(|_| format!("invalid value for {flag}: '{raw}' (expected a number)"))?;
-    if !v.is_finite() || v < 0.0 {
-        return Err(format!(
-            "invalid value for {flag}: '{raw}' (expected a finite non-negative number)"
-        ));
-    }
-    Ok(v)
 }
 
 /// Parse the full argument list (without the program name), dispatching on
@@ -312,6 +327,7 @@ pub fn parse_command(args: &[String]) -> Result<Command, String> {
             parse_characterize_args(&args[1..], false).map(Command::Characterize)
         }
         Some("refute") => parse_characterize_args(&args[1..], true).map(Command::Refute),
+        Some("serve") => parse_serve_args(&args[1..]).map(Command::Serve),
         _ => parse_args(args).map(Command::Run),
     }
 }
@@ -325,10 +341,12 @@ pub fn parse_characterize_args(
 ) -> Result<CharacterizeOptions, String> {
     let cmd = if refute { "refute" } else { "characterize" };
     let mut opts = CharacterizeOptions::default();
-    let mut quiet = false;
-    let mut verbose = false;
+    let mut common = CommonOpts::default();
     let mut i = 0;
     while i < args.len() {
+        if common.try_parse(args, &mut i)? {
+            continue;
+        }
         match args[i].as_str() {
             "--opcodes" => {
                 i += 1;
@@ -385,18 +403,6 @@ pub fn parse_characterize_args(
                 i += 1;
                 opts.warmup = parse_u64("--warmup", args.get(i))?;
             }
-            "--jobs" => {
-                i += 1;
-                let n = parse_u64("--jobs", args.get(i))?;
-                if n == 0 {
-                    return Err("--jobs must be at least 1".to_string());
-                }
-                opts.jobs = n as usize;
-            }
-            "--retries" => {
-                i += 1;
-                opts.retries = parse_u64("--retries", args.get(i))? as u32;
-            }
             "--out" => {
                 i += 1;
                 let dir = args
@@ -431,32 +437,67 @@ pub fn parse_characterize_args(
                 i += 1;
                 opts.max_refutations = parse_u64("--max-refutations", args.get(i))? as usize;
             }
-            "--trace-out" => {
-                i += 1;
-                let file = args
-                    .get(i)
-                    .ok_or_else(|| "--trace-out requires a file path".to_string())?;
-                opts.trace_out = Some(PathBuf::from(file));
-            }
-            flag if flag == "--progress" || flag.starts_with("--progress=") => {
-                opts.progress_ms = Some(parse_progress(flag)?);
-            }
-            "--quiet" => quiet = true,
-            "--verbose" => verbose = true,
             other => return Err(format!("unknown argument '{other}' for {cmd}\n{}", usage())),
         }
         i += 1;
     }
-    if quiet && verbose {
-        return Err("--quiet and --verbose are mutually exclusive".to_string());
+    opts.verbosity = common.verbosity()?;
+    if let Some(jobs) = common.jobs {
+        opts.jobs = jobs;
     }
-    opts.verbosity = if quiet {
-        Verbosity::Quiet
-    } else if verbose {
-        Verbosity::Verbose
-    } else {
-        Verbosity::Normal
-    };
+    if let Some(retries) = common.retries {
+        opts.retries = retries;
+    }
+    opts.trace_out = common.trace_out;
+    opts.progress_ms = common.progress_ms;
+    Ok(opts)
+}
+
+/// Parse `reproduce serve` arguments (after the subcommand word).
+pub fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
+    let mut opts = ServeOptions::default();
+    let mut common = CommonOpts::default();
+    let mut i = 0;
+    while i < args.len() {
+        if common.try_parse(args, &mut i)? {
+            continue;
+        }
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                let addr = args
+                    .get(i)
+                    .ok_or_else(|| "--addr requires HOST:PORT".to_string())?;
+                if !addr.contains(':') {
+                    return Err(format!(
+                        "invalid value for --addr: '{addr}' (expected HOST:PORT)"
+                    ));
+                }
+                opts.addr = addr.clone();
+            }
+            "--root" => {
+                i += 1;
+                let dir = args
+                    .get(i)
+                    .ok_or_else(|| "--root requires a directory".to_string())?;
+                opts.root = PathBuf::from(dir);
+            }
+            other => return Err(format!("unknown argument '{other}' for serve\n{}", usage())),
+        }
+        i += 1;
+    }
+    if common.trace_out.is_some() || common.progress_ms.is_some() {
+        return Err(
+            "serve manages tracing per job; --trace-out/--progress are not accepted".to_string(),
+        );
+    }
+    opts.verbosity = common.verbosity()?;
+    if let Some(jobs) = common.jobs {
+        opts.jobs = jobs;
+    }
+    if let Some(retries) = common.retries {
+        opts.retries = retries;
+    }
     Ok(opts)
 }
 
@@ -470,31 +511,6 @@ pub fn parse_trace_check_args(args: &[String]) -> Result<PathBuf, String> {
             usage()
         )),
     }
-}
-
-/// Parse `--progress` / `--progress=MS` (period in milliseconds, ≥ 1).
-fn parse_progress(arg: &str) -> Result<u64, String> {
-    match arg.strip_prefix("--progress=") {
-        None => Ok(1000),
-        Some(raw) => {
-            let ms: u64 = raw.parse().map_err(|_| {
-                format!("invalid value for --progress: '{raw}' (expected milliseconds)")
-            })?;
-            if ms == 0 {
-                return Err("--progress period must be at least 1 ms".to_string());
-            }
-            Ok(ms)
-        }
-    }
-}
-
-/// Parse `--shard-timeout` (seconds, strictly positive).
-fn parse_shard_timeout(value: Option<&String>) -> Result<f64, String> {
-    let v = parse_f64("--shard-timeout", value)?;
-    if v <= 0.0 {
-        return Err("--shard-timeout must be greater than zero".to_string());
-    }
-    Ok(v)
 }
 
 /// Parse the `--inject-panic W:S:N` test hook.
@@ -528,40 +544,18 @@ pub fn parse_resume_args(args: &[String]) -> Result<ResumeOptions, String> {
         trace_out: None,
         progress_ms: None,
     };
-    let mut quiet = false;
-    let mut verbose = false;
+    let mut common = CommonOpts::default();
     let mut i = 0;
     while i < args.len() {
+        if common.try_parse(args, &mut i)? {
+            continue;
+        }
         match args[i].as_str() {
-            "--jobs" => {
-                i += 1;
-                let n = parse_u64("--jobs", args.get(i))?;
-                if n == 0 {
-                    return Err("--jobs must be at least 1".to_string());
-                }
-                opts.jobs = n as usize;
-            }
-            "--retries" => {
-                i += 1;
-                opts.retries = parse_u64("--retries", args.get(i))? as u32;
-            }
             "--shard-timeout" => {
                 i += 1;
                 opts.shard_timeout_secs = Some(parse_shard_timeout(args.get(i))?);
             }
-            "--trace-out" => {
-                i += 1;
-                let file = args
-                    .get(i)
-                    .ok_or_else(|| "--trace-out requires a file path".to_string())?;
-                opts.trace_out = Some(PathBuf::from(file));
-            }
-            flag if flag == "--progress" || flag.starts_with("--progress=") => {
-                opts.progress_ms = Some(parse_progress(flag)?);
-            }
             "--strict" => opts.strict = true,
-            "--quiet" => quiet = true,
-            "--verbose" => verbose = true,
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown argument '{flag}' for resume\n{}", usage()))
             }
@@ -576,16 +570,15 @@ pub fn parse_resume_args(args: &[String]) -> Result<ResumeOptions, String> {
         }
         i += 1;
     }
-    if quiet && verbose {
-        return Err("--quiet and --verbose are mutually exclusive".to_string());
+    opts.verbosity = common.verbosity()?;
+    if let Some(jobs) = common.jobs {
+        opts.jobs = jobs;
     }
-    opts.verbosity = if quiet {
-        Verbosity::Quiet
-    } else if verbose {
-        Verbosity::Verbose
-    } else {
-        Verbosity::Normal
-    };
+    if let Some(retries) = common.retries {
+        opts.retries = retries;
+    }
+    opts.trace_out = common.trace_out;
+    opts.progress_ms = common.progress_ms;
     opts.dir = dir.ok_or_else(|| format!("resume requires a run directory\n{}", usage()))?;
     Ok(opts)
 }
@@ -683,10 +676,12 @@ pub fn parse_diff_args(args: &[String]) -> Result<DiffOptions, String> {
 /// should print it and exit nonzero.
 pub fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options::default();
-    let mut quiet = false;
-    let mut verbose = false;
+    let mut common = CommonOpts::default();
     let mut i = 0;
     while i < args.len() {
+        if common.try_parse(args, &mut i)? {
+            continue;
+        }
         match args[i].as_str() {
             "--instructions" => {
                 i += 1;
@@ -698,14 +693,6 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
             "--seed" => {
                 i += 1;
                 opts.seed = parse_u64("--seed", args.get(i))?;
-            }
-            "--jobs" => {
-                i += 1;
-                let n = parse_u64("--jobs", args.get(i))?;
-                if n == 0 {
-                    return Err("--jobs must be at least 1".to_string());
-                }
-                opts.jobs = n as usize;
             }
             "--shards" => {
                 i += 1;
@@ -782,10 +769,6 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
                     .ok_or_else(|| "--fault-classes requires a value".to_string())?;
                 opts.fault_classes = vax780::parse_classes(raw)?;
             }
-            "--retries" => {
-                i += 1;
-                opts.retries = parse_u64("--retries", args.get(i))? as u32;
-            }
             "--shard-timeout" => {
                 i += 1;
                 opts.shard_timeout_secs = Some(parse_shard_timeout(args.get(i))?);
@@ -794,27 +777,12 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
                 i += 1;
                 opts.inject_panic = Some(parse_inject_panic(args.get(i))?);
             }
-            "--trace-out" => {
-                i += 1;
-                let file = args
-                    .get(i)
-                    .ok_or_else(|| "--trace-out requires a file path".to_string())?;
-                opts.trace_out = Some(PathBuf::from(file));
-            }
-            flag if flag == "--progress" || flag.starts_with("--progress=") => {
-                opts.progress_ms = Some(parse_progress(flag)?);
-            }
             "--strict" => opts.strict = true,
             "--per-workload" => opts.per_workload = true,
             "--profile" => opts.profile = true,
-            "--quiet" => quiet = true,
-            "--verbose" => verbose = true,
             other => return Err(format!("unknown argument '{other}'\n{}", usage())),
         }
         i += 1;
-    }
-    if quiet && verbose {
-        return Err("--quiet and --verbose are mutually exclusive".to_string());
     }
     match opts.fault_seed {
         // Classes without a seed would silently inject nothing.
@@ -826,13 +794,15 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
         }
         _ => {}
     }
-    opts.verbosity = if quiet {
-        Verbosity::Quiet
-    } else if verbose {
-        Verbosity::Verbose
-    } else {
-        Verbosity::Normal
-    };
+    opts.verbosity = common.verbosity()?;
+    if let Some(jobs) = common.jobs {
+        opts.jobs = jobs;
+    }
+    if let Some(retries) = common.retries {
+        opts.retries = retries;
+    }
+    opts.trace_out = common.trace_out;
+    opts.progress_ms = common.progress_ms;
     Ok(opts)
 }
 
@@ -1264,6 +1234,52 @@ mod tests {
         assert!(parse_cmd(&["refute", "--list"])
             .unwrap_err()
             .contains("--list"));
+    }
+
+    #[test]
+    fn serve_subcommand_parses() {
+        match parse_cmd(&[
+            "serve",
+            "--addr",
+            "0.0.0.0:8080",
+            "--root",
+            "/tmp/jobs",
+            "--jobs",
+            "4",
+            "--retries",
+            "1",
+            "--quiet",
+        ])
+        .unwrap()
+        {
+            Command::Serve(s) => {
+                assert_eq!(s.addr, "0.0.0.0:8080");
+                assert_eq!(s.root, std::path::PathBuf::from("/tmp/jobs"));
+                assert_eq!(s.jobs, 4);
+                assert_eq!(s.retries, 1);
+                assert_eq!(s.verbosity, Verbosity::Quiet);
+            }
+            _ => panic!("expected serve"),
+        }
+        match parse_cmd(&["serve"]).unwrap() {
+            Command::Serve(s) => {
+                assert_eq!(s.addr, "127.0.0.1:4780");
+                assert_eq!(s.jobs, 1);
+            }
+            _ => panic!("expected serve"),
+        }
+        assert!(parse_cmd(&["serve", "--addr", "nocolon"])
+            .unwrap_err()
+            .contains("HOST:PORT"));
+        assert!(parse_cmd(&["serve", "--jobs", "0"])
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse_cmd(&["serve", "--trace-out", "t.json"])
+            .unwrap_err()
+            .contains("per job"));
+        assert!(parse_cmd(&["serve", "--frobnicate"])
+            .unwrap_err()
+            .contains("--frobnicate"));
     }
 
     #[test]

@@ -1,0 +1,531 @@
+//! The job engine: one entry point for every way a job can be submitted.
+//!
+//! A [`JobRequest`] is a fully-validated option struct (the same structs
+//! the CLI parsers produce); [`JobEngine::execute`] runs it — simulation,
+//! rendering, artifact export, observability flush — and returns a
+//! [`JobOutcome`] holding the exit code and the text the CLI would have
+//! printed to stdout. The `reproduce` binary is a thin frontend: parse
+//! argv, call the engine, print the outcome. The `reproduce serve` daemon
+//! is another frontend over the *same* engine, so an HTTP-submitted job
+//! and a CLI invocation of the same spec produce byte-identical artifacts
+//! by construction (CI-enforced by the serve-smoke job).
+//!
+//! The engine is long-lived: it owns the [`WarmCaches`] that let a second
+//! job with the same experiment definition skip workload codegen and
+//! kernel boot. A fresh engine per CLI invocation makes the caches a
+//! no-op there (every cell misses once); a daemon keeps one engine across
+//! jobs, which is where the warm path pays.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use vax_analysis::{tables, Profile, RunManifest};
+use vax_trace::{Tracer, MAIN_TID};
+
+use crate::cache::WarmCaches;
+use crate::charrun;
+use crate::cli::{CharacterizeOptions, Format, Options, ResumeOptions};
+use crate::fsio::write_atomic;
+use crate::heartbeat::{runtime_json, Heartbeat};
+use crate::meter::HostMeter;
+use crate::progress::Progress;
+use crate::runner::{self, RunOutput};
+
+/// A validated job for the engine: the same option structs the CLI
+/// parsers build, minus any argv involvement.
+#[derive(Debug, Clone)]
+pub enum JobRequest {
+    /// The five-workload composite measurement (`reproduce` / `run` spec).
+    Run(Options),
+    /// The per-opcode cost-table sweep (`reproduce characterize`).
+    Characterize(CharacterizeOptions),
+    /// Adversarial counter cross-checks (`reproduce refute`).
+    Refute(CharacterizeOptions),
+    /// Finish an interrupted `--out` run from its checkpoints.
+    Resume(ResumeOptions),
+}
+
+impl JobRequest {
+    fn trace_out(&self) -> Option<&Path> {
+        match self {
+            JobRequest::Run(o) => o.trace_out.as_deref(),
+            JobRequest::Characterize(o) | JobRequest::Refute(o) => o.trace_out.as_deref(),
+            JobRequest::Resume(o) => o.trace_out.as_deref(),
+        }
+    }
+
+    fn progress_ms(&self) -> Option<u64> {
+        match self {
+            JobRequest::Run(o) => o.progress_ms,
+            JobRequest::Characterize(o) | JobRequest::Refute(o) => o.progress_ms,
+            JobRequest::Resume(o) => o.progress_ms,
+        }
+    }
+
+    fn progress(&self) -> Progress {
+        Progress::new(match self {
+            JobRequest::Run(o) => o.verbosity,
+            JobRequest::Characterize(o) | JobRequest::Refute(o) => o.verbosity,
+            JobRequest::Resume(o) => o.verbosity,
+        })
+    }
+}
+
+/// What a finished job hands back to its frontend.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// Process exit code the CLI would use (0 = clean).
+    pub code: i32,
+    /// Everything the job would have printed to stdout (tables, reports,
+    /// stdout-mode JSON). Narration still goes to stderr as it happens.
+    pub stdout: String,
+}
+
+/// Long-lived executor for [`JobRequest`]s (see module docs).
+#[derive(Debug, Default)]
+pub struct JobEngine {
+    caches: Arc<WarmCaches>,
+}
+
+impl JobEngine {
+    /// An engine with empty warm caches.
+    pub fn new() -> JobEngine {
+        JobEngine::default()
+    }
+
+    /// An engine sharing an existing cache set.
+    pub fn with_caches(caches: Arc<WarmCaches>) -> JobEngine {
+        JobEngine { caches }
+    }
+
+    /// The engine's warm caches (for counter inspection / sharing).
+    pub fn caches(&self) -> &Arc<WarmCaches> {
+        &self.caches
+    }
+
+    /// Execute a job the way the CLI does: tracer and heartbeat built
+    /// from the request's own `--trace-out` / `--progress` flags, then
+    /// the observability flush.
+    pub fn execute(&self, req: &JobRequest) -> JobOutcome {
+        let progress = req.progress();
+        let (tracer, heartbeat) = start_observability(req.trace_out(), req.progress_ms());
+        let (mut outcome, flush_dir) = self.run_job(req, &progress, &tracer);
+        drop(heartbeat);
+        let obs_code =
+            flush_observability(&tracer, req.trace_out(), flush_dir.as_deref(), &progress);
+        if outcome.code == 0 {
+            outcome.code = obs_code;
+        }
+        outcome
+    }
+
+    /// Execute a job under a caller-owned tracer — the daemon path. No
+    /// heartbeat thread is started (the server reads progress from the
+    /// tracer on demand); the flush still writes the request's trace file
+    /// and the `runtime.json` roll-up into its output directory.
+    pub fn execute_traced(&self, req: &JobRequest, tracer: &Tracer) -> JobOutcome {
+        let progress = req.progress();
+        let (mut outcome, flush_dir) = self.run_job(req, &progress, tracer);
+        let obs_code =
+            flush_observability(tracer, req.trace_out(), flush_dir.as_deref(), &progress);
+        if outcome.code == 0 {
+            outcome.code = obs_code;
+        }
+        outcome
+    }
+
+    /// Run the job body (no observability setup/flush). Returns the
+    /// outcome and the directory `runtime.json` belongs in — for resume
+    /// that is only known after the checkpoint header is read, which is
+    /// why it is a return value and not `req.out()`.
+    fn run_job(
+        &self,
+        req: &JobRequest,
+        progress: &Progress,
+        tracer: &Tracer,
+    ) -> (JobOutcome, Option<PathBuf>) {
+        match req {
+            JobRequest::Run(opts) => self.run_measure(opts, progress, tracer),
+            JobRequest::Characterize(opts) => {
+                let outcome = run_characterize(opts, progress, tracer);
+                (outcome, opts.out.clone())
+            }
+            JobRequest::Refute(opts) => {
+                let outcome = run_refute(opts, progress, tracer);
+                (outcome, opts.out.clone())
+            }
+            JobRequest::Resume(resume) => self.run_resume(resume, progress, tracer),
+        }
+    }
+
+    /// The measurement run (`reproduce` with no subcommand).
+    fn run_measure(
+        &self,
+        opts: &Options,
+        progress: &Progress,
+        tracer: &Tracer,
+    ) -> (JobOutcome, Option<PathBuf>) {
+        let mut stdout = String::new();
+        if opts.experiment == "fig1" {
+            stdout.push_str(&fig1());
+            return (JobOutcome { code: 0, stdout }, None);
+        }
+
+        // Meter only the simulation itself, not rendering or artifact I/O.
+        let meter = HostMeter::start();
+        let out = runner::run_composite_cached(opts, progress, tracer, &self.caches);
+        let bench = meter.finish(out.analysis.cycles, out.analysis.instructions);
+        progress.info(&bench.summary());
+        if let Some(dir) = &opts.bench_out {
+            match bench.write_to(dir) {
+                Ok(path) => progress.info(&format!("wrote {}", path.display())),
+                Err(e) => {
+                    eprintln!("reproduce: {e}");
+                    return (JobOutcome { code: 1, stdout }, opts.out.clone());
+                }
+            }
+        }
+        let code = render_and_export(opts, &out, progress, tracer, &mut stdout);
+        (JobOutcome { code, stdout }, opts.out.clone())
+    }
+
+    /// `reproduce resume`: finish an interrupted `--out` run from its
+    /// checkpoints, then render/export exactly as the original invocation
+    /// would have.
+    fn run_resume(
+        &self,
+        resume: &ResumeOptions,
+        progress: &Progress,
+        tracer: &Tracer,
+    ) -> (JobOutcome, Option<PathBuf>) {
+        let mut stdout = String::new();
+        let (opts, out) =
+            match runner::resume_composite_cached(resume, progress, tracer, &self.caches) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("reproduce resume: {e}");
+                    return (JobOutcome { code: 1, stdout }, None);
+                }
+            };
+        let code = render_and_export(&opts, &out, progress, tracer, &mut stdout);
+        (JobOutcome { code, stdout }, opts.out.clone())
+    }
+}
+
+/// Figure 1 is the 780 block diagram; we reproduce it as the simulated
+/// component inventory.
+pub fn fig1() -> String {
+    let mut s = String::new();
+    s.push_str("Figure 1 — VAX-11/780 block diagram (simulated configuration)\n");
+    s.push_str("  CPU pipeline:\n");
+    s.push_str("    I-Fetch   : 8-byte instruction buffer, one outstanding longword fill\n");
+    s.push_str("    I-Decode  : one non-overlapped cycle per instruction\n");
+    s.push_str("    EBOX      : microcoded; 200 ns microcycle; synthetic control store\n");
+    s.push_str("  Memory subsystem:\n");
+    s.push_str("    TB        : 128 entries, 2-way, split system/process halves\n");
+    s.push_str("    Cache     : 8 KB, 2-way, 8-byte blocks, write-through, no write-allocate\n");
+    s.push_str("    Write buf : one longword, 6-cycle drain\n");
+    s.push_str("    SBI       : shared path to 8 MB memory, 6-cycle read miss\n");
+    s
+}
+
+/// Build a run's tracer (and heartbeat) from the observability flags:
+/// either `--trace-out` or `--progress` enables recording; without them
+/// the tracer is the no-op disabled handle the hot path never notices.
+/// When a trace file is requested, any panic flushes the partial buffer
+/// there, so even a crashed run leaves an openable trace.
+pub fn start_observability(
+    trace_out: Option<&Path>,
+    progress_ms: Option<u64>,
+) -> (Tracer, Option<Heartbeat>) {
+    let tracer = if trace_out.is_some() || progress_ms.is_some() {
+        Tracer::enabled()
+    } else {
+        Tracer::disabled()
+    };
+    if let Some(path) = trace_out {
+        tracer.register_panic_flush(path);
+    }
+    let heartbeat = progress_ms.map(|ms| Heartbeat::start(tracer.clone(), ms));
+    (tracer, heartbeat)
+}
+
+/// Write the post-run observability artifacts: the Chrome trace to
+/// `--trace-out`, and (when the run exported into a directory) the
+/// `runtime.json` roll-up next to the other artifacts. Failures here are
+/// reported but never override the run's own exit code with success —
+/// they only turn a clean exit into a failure.
+pub fn flush_observability(
+    tracer: &Tracer,
+    trace_out: Option<&Path>,
+    out_dir: Option<&Path>,
+    progress: &Progress,
+) -> i32 {
+    if !tracer.is_enabled() {
+        return 0;
+    }
+    let mut code = 0;
+    if let Some(path) = trace_out {
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("reproduce: cannot create {}: {e}", dir.display());
+                code = 1;
+            }
+        }
+        match write_atomic(path, &tracer.chrome_trace()) {
+            Ok(()) => progress.info(&format!("wrote {}", path.display())),
+            Err(e) => {
+                eprintln!("reproduce: cannot write {}: {e}", path.display());
+                code = 1;
+            }
+        }
+    }
+    if let Some(dir) = out_dir {
+        let path = dir.join("runtime.json");
+        let body = runtime_json(tracer).to_string_pretty();
+        match std::fs::create_dir_all(dir)
+            .map_err(|e| e.to_string())
+            .and_then(|()| write_atomic(&path, &body).map_err(|e| e.to_string()))
+        {
+            Ok(()) => progress.info(&format!("wrote {}", path.display())),
+            Err(e) => {
+                eprintln!("reproduce: cannot write {}: {e}", path.display());
+                code = 1;
+            }
+        }
+    }
+    code
+}
+
+/// `reproduce characterize`: run the directed-probe grid and emit the
+/// per-opcode cost table. `--out DIR` writes `costs.json` + `costs.md`
+/// (plus `runtime.json` when traced); without it the JSON goes to stdout.
+/// Exit 1 when any grid cell exhausted its retries.
+fn run_characterize(
+    opts: &CharacterizeOptions,
+    progress: &Progress,
+    tracer: &Tracer,
+) -> JobOutcome {
+    let mut stdout = String::new();
+    if opts.list {
+        stdout.push_str(&charrun::render_grid_list(opts));
+        return JobOutcome { code: 0, stdout };
+    }
+    let out = charrun::run_characterize(opts, progress, tracer);
+    let json = vax_analysis::costs_json(&out.table);
+    let mut code = i32::from(!out.failed_cells.is_empty());
+    match &opts.out {
+        Some(dir) => {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!(
+                    "reproduce characterize: cannot create {}: {e}",
+                    dir.display()
+                );
+                code = 1;
+            } else {
+                for (name, body) in [
+                    ("costs.json", json),
+                    ("costs.md", vax_analysis::costs_markdown(&out.table)),
+                ] {
+                    let path = dir.join(name);
+                    if let Err(e) = write_atomic(&path, &body) {
+                        eprintln!(
+                            "reproduce characterize: cannot write {}: {e}",
+                            path.display()
+                        );
+                        code = 1;
+                        break;
+                    }
+                    tracer.count(MAIN_TID, "bytes_exported", body.len() as u64);
+                }
+                progress.info(&format!(
+                    "wrote costs.json and costs.md to {}",
+                    dir.display()
+                ));
+            }
+        }
+        None => stdout.push_str(&json),
+    }
+    JobOutcome { code, stdout }
+}
+
+/// `reproduce refute`: adversarial cross-checks over the probe grid.
+/// Exit 0 only when every cell survives every check; a refutation (or a
+/// quarantined cell) exits 1, and the minimized regression fixtures land
+/// in `--fixtures DIR`.
+fn run_refute(opts: &CharacterizeOptions, progress: &Progress, tracer: &Tracer) -> JobOutcome {
+    let mut stdout = String::new();
+    let code = match charrun::run_refute(opts, progress, tracer) {
+        Err(msg) => {
+            eprintln!("reproduce refute: {msg}");
+            2
+        }
+        Ok(out) => {
+            for (opcode, mode, checks) in &out.refuted_cells {
+                let _ = writeln!(stdout, "REFUTED {opcode} {mode}: {}", checks.join(", "));
+            }
+            let _ = writeln!(
+                stdout,
+                "refute: {} cell(s) checked, {} refuted, {} minimized, {} quarantined",
+                out.cells_checked,
+                out.refuted_cells.len(),
+                out.refutations.len(),
+                out.failed_cells.len()
+            );
+            i32::from(!out.refuted_cells.is_empty() || !out.failed_cells.is_empty())
+        }
+    };
+    JobOutcome { code, stdout }
+}
+
+/// Everything downstream of the simulation: profile, per-workload CPIs,
+/// exports, and the exit code. Shared by run and resume so a resumed
+/// run's artifacts come from the same code path (and the same bytes) as an
+/// uninterrupted one.
+fn render_and_export(
+    opts: &Options,
+    out: &RunOutput,
+    progress: &Progress,
+    tracer: &Tracer,
+    stdout: &mut String,
+) -> i32 {
+    let _export = tracer.span(MAIN_TID, "export", vec![]);
+    // The µPC attribution profile: folded stacks + JSON always go to a
+    // directory (--out if given, else the working directory); the top-N
+    // report goes to stdout in text mode and stderr in json mode so the
+    // machine-readable stream stays clean.
+    if opts.profile {
+        let profile = Profile::new(&out.cs.map, &out.analysis.m.hist);
+        let dir = opts.out.clone().unwrap_or_else(|| PathBuf::from("."));
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("reproduce: cannot create {}: {e}", dir.display());
+            return 1;
+        }
+        for (name, body) in [
+            ("profile.folded", profile.folded()),
+            ("profile.json", profile.to_json().to_string_pretty()),
+        ] {
+            let path = dir.join(name);
+            if let Err(e) = write_atomic(&path, &body) {
+                eprintln!("reproduce: cannot write {}: {e}", path.display());
+                return 1;
+            }
+            tracer.count(MAIN_TID, "bytes_exported", body.len() as u64);
+        }
+        progress.info(&format!(
+            "wrote profile.folded and profile.json to {}",
+            dir.display()
+        ));
+        let report = profile.top_routines_report(opts.top);
+        match opts.format {
+            Format::Text => {
+                let _ = writeln!(stdout, "{report}");
+            }
+            Format::Json => progress.info(&report),
+        }
+    }
+
+    if opts.per_workload {
+        let mut s = String::from("Per-workload CPI:\n");
+        for (w, cpi) in &out.per_workload {
+            s.push_str(&format!("  {:<34} {cpi:>6.2}\n", w.name()));
+        }
+        match opts.format {
+            Format::Text => {
+                let _ = writeln!(stdout, "{s}");
+            }
+            Format::Json => progress.info(&s),
+        }
+    }
+
+    if opts.format == Format::Json {
+        let manifest = RunManifest {
+            experiment: opts.experiment.clone(),
+            seed: Some(opts.seed),
+            instructions: opts.instructions,
+            warmup: opts.instructions / 10,
+            interval_cycles: opts.interval_cycles,
+            shards: opts.shards,
+            config: "default VAX-11/780 configuration, 5-workload composite".to_string(),
+            fault_seed: opts.fault_seed,
+            fault_classes: opts
+                .fault_classes
+                .iter()
+                .map(|c| c.name().to_string())
+                .collect(),
+            degraded: out.degraded,
+            failed_cells: out
+                .failed_cells
+                .iter()
+                .map(|(w, s)| (w.name().to_string(), *s))
+                .collect(),
+        };
+        let files =
+            vax_analysis::run_artifacts(&manifest, &out.analysis, &out.series, &out.validation);
+        match &opts.out {
+            Some(dir) => {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("reproduce: cannot create {}: {e}", dir.display());
+                    return 1;
+                }
+                for (name, body) in &files {
+                    let path = dir.join(name);
+                    if let Err(e) = write_atomic(&path, body) {
+                        eprintln!("reproduce: cannot write {}: {e}", path.display());
+                        return 1;
+                    }
+                    tracer.count(MAIN_TID, "bytes_exported", body.len() as u64);
+                }
+                progress.info(&format!(
+                    "wrote {} artifacts to {}",
+                    files.len(),
+                    dir.display()
+                ));
+            }
+            None => {
+                let tables = files
+                    .iter()
+                    .find(|(name, _)| *name == "tables.json")
+                    .map(|(_, body)| body.as_str())
+                    .unwrap();
+                stdout.push_str(tables);
+            }
+        }
+        return exit_code(opts, out);
+    }
+
+    let rendered = match opts.experiment.as_str() {
+        "all" => {
+            let mut s = fig1();
+            s.push('\n');
+            s.push_str(&tables::print_all_tables(&out.analysis));
+            s
+        }
+        "table1" => tables::table1(&out.analysis),
+        "table2" => tables::table2(&out.analysis),
+        "table3" => tables::table3(&out.analysis),
+        "table4" => tables::table4(&out.analysis),
+        "table5" => tables::table5(&out.analysis),
+        "table6" => tables::table6(&out.analysis),
+        "table7" => tables::table7(&out.analysis),
+        "table8" => tables::table8(&out.analysis),
+        "table9" => tables::table9(&out.analysis),
+        "events" => tables::events(&out.analysis),
+        other => unreachable!("experiment '{other}' passed validation but has no renderer"),
+    };
+    stdout.push_str(&rendered);
+    exit_code(opts, out)
+}
+
+/// Exit code policy: validation divergence always fails; a degraded run
+/// (quarantined cells) fails only under `--strict` — without it the
+/// partial results are still worth exiting 0 for, and the manifest records
+/// the damage.
+fn exit_code(opts: &Options, out: &RunOutput) -> i32 {
+    if !out.validation.is_clean() || (opts.strict && out.degraded) {
+        1
+    } else {
+        0
+    }
+}

@@ -5,17 +5,22 @@
 //! and the Criterion benches under `benches/`.
 
 pub mod benchcheck;
+pub mod cache;
 pub mod charrun;
 pub mod cli;
 pub mod diffcmd;
+pub mod engine;
 pub mod fsio;
 pub mod harness;
 pub mod heartbeat;
+pub mod jobspec;
 pub mod meter;
+pub mod options;
 pub mod pool;
 pub mod progress;
 pub mod resume;
 pub mod runner;
+pub mod serve;
 pub mod tracecheck;
 
 /// Default per-workload measurement length (instructions) for the full

@@ -31,6 +31,7 @@ use vax_cpu::{ControlStore, CpuConfig, SharedFlightRecorder};
 use vax_trace::{worker_tid, Tracer, MAIN_TID};
 use vax_workload::Workload;
 
+use crate::cache::WarmCaches;
 use crate::cli::{Options, ResumeOptions};
 use crate::fsio::write_atomic;
 use crate::pool::{panic_message, run_supervised_traced};
@@ -106,6 +107,20 @@ pub fn run_composite(opts: &Options, progress: &Progress) -> RunOutput {
 /// decode-cache hits/misses, and scheduled fault injections. A disabled
 /// tracer makes this identical to [`run_composite`].
 pub fn run_composite_traced(opts: &Options, progress: &Progress, tracer: &Tracer) -> RunOutput {
+    run_composite_cached(opts, progress, tracer, &WarmCaches::new())
+}
+
+/// [`run_composite_traced`] against shared warm caches (see
+/// [`crate::cache`]). A long-lived engine passes its own caches so a
+/// repeated job skips codegen and boot; the plain entry points pass a
+/// fresh cache, which behaves identically to no cache at all (every cell
+/// of one run has a distinct seed, so a single run only ever misses).
+pub fn run_composite_cached(
+    opts: &Options,
+    progress: &Progress,
+    tracer: &Tracer,
+    caches: &WarmCaches,
+) -> RunOutput {
     assert!(opts.shards > 0, "run_composite: shards must be at least 1");
     // A fresh run must not inherit cells journaled by an earlier run in
     // the same directory (a previous grid may have been larger, and its
@@ -114,7 +129,7 @@ pub fn run_composite_traced(opts: &Options, progress: &Progress, tracer: &Tracer
         let _ = std::fs::remove_dir_all(checkpoints_dir(out));
     }
     let cells = vec![None; Workload::ALL.len() * opts.shards as usize];
-    run_grid(opts, progress, cells, tracer)
+    run_grid(opts, progress, cells, tracer, caches)
 }
 
 /// Finish the interrupted run journaled under `resume.dir`: reconstruct
@@ -141,6 +156,17 @@ pub fn resume_composite_traced(
     progress: &Progress,
     tracer: &Tracer,
 ) -> Result<(Options, RunOutput), String> {
+    resume_composite_cached(resume, progress, tracer, &WarmCaches::new())
+}
+
+/// [`resume_composite_traced`] against shared warm caches (see
+/// [`run_composite_cached`]).
+pub fn resume_composite_cached(
+    resume: &ResumeOptions,
+    progress: &Progress,
+    tracer: &Tracer,
+    caches: &WarmCaches,
+) -> Result<(Options, RunOutput), String> {
     let path = header_path(&resume.dir);
     let text = std::fs::read_to_string(&path).map_err(|e| {
         format!(
@@ -156,7 +182,7 @@ pub fn resume_composite_traced(
         resume.dir.display(),
         cells.len()
     ));
-    let out = run_grid(&opts, progress, cells, tracer);
+    let out = run_grid(&opts, progress, cells, tracer, caches);
     Ok((opts, out))
 }
 
@@ -166,6 +192,7 @@ fn run_grid(
     progress: &Progress,
     preloaded: Vec<Option<CheckpointCell>>,
     tracer: &Tracer,
+    caches: &WarmCaches,
 ) -> RunOutput {
     let instructions = opts.instructions;
     let seed = opts.seed;
@@ -258,17 +285,17 @@ fn run_grid(
                 }
             }
             let cell_seed = vax_workload::rte::shard_seed(seed, job.workload_index, job.shard);
-            let specs = {
+            let (specs, workload_hit) = {
                 let _g = tracer.span(tid, "codegen", vec![]);
-                vax_workload::rte::shard_processes(
+                caches.processes(
                     job.workload,
                     vax_workload::rte::PROCESSES_PER_WORKLOAD,
                     cell_seed,
                 )
             };
-            let mut system = {
+            let (mut system, boot_hit) = {
                 let _g = tracer.span(tid, "boot", vec![]);
-                vax_workload::rte::boot_system(specs)
+                caches.boot(&specs)
             };
             if job.recorder.is_enabled() {
                 system.cpu.flight = job.recorder.clone();
@@ -303,6 +330,11 @@ fn run_grid(
                 tracer.count(tid, "decode_cache_misses", d.misses);
                 tracer.count(tid, "instructions", m.instructions());
                 tracer.count(tid, "sim_cycles", m.cycles);
+                let hit = |b: bool| b as u64;
+                tracer.count(tid, "workload_cache_hits", hit(workload_hit));
+                tracer.count(tid, "workload_cache_misses", hit(!workload_hit));
+                tracer.count(tid, "boot_cache_hits", hit(boot_hit));
+                tracer.count(tid, "boot_cache_misses", hit(!boot_hit));
                 if fault_count > 0 {
                     tracer.count(tid, "fault_injections", fault_count);
                 }

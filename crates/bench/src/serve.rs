@@ -1,0 +1,635 @@
+//! `reproduce serve`: the long-lived, multi-tenant characterization
+//! daemon.
+//!
+//! One process, one [`JobEngine`], many jobs. Clients POST a
+//! [`JobSpec`] (see `crate::jobspec`) and get a job ID back; the daemon
+//! executes jobs one at a time, FIFO, on a single worker thread that
+//! keeps the engine — and therefore the warm codegen/boot caches — alive
+//! between jobs. A second job with the same experiment definition skips
+//! workload generation and kernel boot entirely, and says so in its
+//! `runtime.json` cache counters.
+//!
+//! Because a served job is materialized into the *same* option structs
+//! the CLI parsers produce and handed to the *same* engine, its artifact
+//! directory is byte-identical to a CLI run of the same spec (the CI
+//! serve-smoke job downloads artifacts over HTTP and `cmp`s them against
+//! a CLI run).
+//!
+//! ## Endpoints
+//!
+//! | Method & path                  | Purpose                                  |
+//! |--------------------------------|------------------------------------------|
+//! | `POST /jobs`                   | Submit a spec; `202` + job ID            |
+//! | `GET /jobs`                    | List jobs, oldest first                  |
+//! | `GET /jobs/:id`                | Status (+ live progress while running)   |
+//! | `GET /jobs/:id/artifacts`      | List the job's artifact files            |
+//! | `GET /jobs/:id/artifacts/NAME` | Download one artifact                    |
+//! | `GET /jobs/:id/events`         | ndjson status stream until terminal      |
+//! | `POST /shutdown`               | Drain (same as SIGTERM)                  |
+//!
+//! ## Lifecycle and drain
+//!
+//! `SIGTERM`/`SIGINT` (or `POST /shutdown`) puts the daemon into drain:
+//! new submissions get `503`, the running job finishes cleanly, and the
+//! process exits 0. Jobs still queued at drain stay on disk — each job
+//! directory holds the canonical `spec.json`, so nothing is lost: a
+//! measurement run interrupted harder than that is recoverable via
+//! `reproduce resume` from its checkpoint journal (`docs/ROBUSTNESS.md`).
+//!
+//! Protocol plumbing (parsing, limits, serialization) lives in the
+//! dependency-free `vax_serve` crate; this module owns the registry, the
+//! worker, and the HTTP surface. See `docs/SERVICE.md`.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use vax_analysis::Json;
+use vax_serve::{write_streaming_head, HttpError, Request, Response};
+use vax_trace::Tracer;
+
+use crate::cli::{Format, ServeOptions};
+use crate::engine::{JobEngine, JobOutcome, JobRequest};
+use crate::fsio::write_atomic;
+use crate::heartbeat::progress_line;
+use crate::jobspec::JobSpec;
+use crate::progress::{Progress, Verbosity};
+
+/// How often the accept loop polls for the drain flag, and how often the
+/// events stream re-samples a running job.
+const POLL: Duration = Duration::from_millis(50);
+/// Events-stream sampling period.
+const EVENTS_PERIOD: Duration = Duration::from_millis(200);
+/// Per-connection socket timeout: a stalled client cannot pin its
+/// handler thread forever.
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(10);
+/// Most unfinished (queued + running) jobs admitted at once.
+const MAX_PENDING_JOBS: usize = 64;
+
+/// Where a job is in its life.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum JobState {
+    Queued,
+    Running,
+    /// Terminal; `code` 0 = done, nonzero = failed.
+    Finished {
+        code: i32,
+    },
+}
+
+impl JobState {
+    fn name(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Finished { code: 0 } => "done",
+            JobState::Finished { .. } => "failed",
+        }
+    }
+}
+
+/// One submitted job.
+#[derive(Debug)]
+struct Job {
+    id: String,
+    spec: JobSpec,
+    dir: PathBuf,
+    state: JobState,
+    /// The running job's tracer (live progress source); kept after
+    /// finish for the final counter snapshot.
+    tracer: Option<Tracer>,
+    started: Option<Instant>,
+}
+
+/// Registry guarded by one mutex; the condvar wakes the worker.
+#[derive(Debug, Default)]
+struct Registry {
+    jobs: BTreeMap<String, Job>,
+    /// Submission order (BTreeMap iteration order matches because IDs
+    /// are zero-padded sequence numbers, but the queue is authoritative).
+    queue: VecDeque<String>,
+    next_seq: u64,
+}
+
+/// Everything the connection handlers, worker, and accept loop share.
+#[derive(Debug)]
+struct Shared {
+    opts: ServeOptions,
+    registry: Mutex<Registry>,
+    wake: Condvar,
+    /// Set by SIGTERM/SIGINT or `POST /shutdown`: refuse new jobs,
+    /// finish the current one, exit.
+    draining: AtomicBool,
+}
+
+#[cfg(unix)]
+mod sig {
+    //! Minimal signal hookup without a libc crate: `signal(2)` is in
+    //! every libc this build links anyway, and an `AtomicBool` store is
+    //! async-signal-safe. The accept loop polls the flag.
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static TERMINATE: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_terminate(_signum: i32) {
+        TERMINATE.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            let handler = on_terminate as extern "C" fn(i32) as usize;
+            signal(SIGTERM, handler);
+            signal(SIGINT, handler);
+        }
+    }
+
+    pub fn pending() -> bool {
+        TERMINATE.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    pub fn install() {}
+    pub fn pending() -> bool {
+        false
+    }
+}
+
+/// Run the daemon until drained. Returns the process exit code.
+pub fn run_serve(opts: &ServeOptions) -> i32 {
+    let progress = Progress::new(opts.verbosity);
+    let listener = match TcpListener::bind(&opts.addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("reproduce serve: cannot bind {}: {e}", opts.addr);
+            return 1;
+        }
+    };
+    if let Err(e) = listener.set_nonblocking(true) {
+        eprintln!("reproduce serve: cannot configure listener: {e}");
+        return 1;
+    }
+    if let Err(e) = std::fs::create_dir_all(&opts.root) {
+        eprintln!(
+            "reproduce serve: cannot create {}: {e}",
+            opts.root.display()
+        );
+        return 1;
+    }
+    sig::install();
+    let shared = Arc::new(Shared {
+        opts: opts.clone(),
+        registry: Mutex::new(Registry::default()),
+        wake: Condvar::new(),
+        draining: AtomicBool::new(false),
+    });
+    // local_addr never fails on a bound listener, but don't panic a
+    // daemon over a log line.
+    let bound = listener
+        .local_addr()
+        .map_or_else(|_| opts.addr.clone(), |a| a.to_string());
+    progress.info(&format!(
+        "serving on http://{bound} (root {})",
+        opts.root.display()
+    ));
+
+    let worker = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || worker_loop(&shared))
+    };
+
+    let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    loop {
+        if sig::pending() {
+            shared.draining.store(true, Ordering::SeqCst);
+        }
+        if shared.draining.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let shared = Arc::clone(&shared);
+                handlers.push(std::thread::spawn(move || {
+                    handle_connection(stream, &shared)
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL);
+            }
+            Err(e) => {
+                eprintln!("reproduce serve: accept failed: {e}");
+                std::thread::sleep(POLL);
+            }
+        }
+        handlers.retain(|h| !h.is_finished());
+    }
+
+    progress.info("draining: finishing the running job");
+    shared.wake.notify_all();
+    let _ = worker.join();
+    for h in handlers {
+        let _ = h.join();
+    }
+    progress.info("drained cleanly");
+    0
+}
+
+/// The single job-executing thread. One [`JobEngine`] lives here for the
+/// daemon's whole life — that is the warm-cache tenancy.
+fn worker_loop(shared: &Shared) {
+    let engine = JobEngine::new();
+    loop {
+        let next = {
+            let mut reg = shared.registry.lock().unwrap();
+            loop {
+                if let Some(id) = reg.queue.pop_front() {
+                    break Some(id);
+                }
+                if shared.draining.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (guard, _timeout) = shared.wake.wait_timeout(reg, POLL).unwrap();
+                reg = guard;
+            }
+        };
+        let Some(id) = next else { return };
+        execute_job(shared, &engine, &id);
+    }
+}
+
+/// Run one job start to finish, updating the registry around it.
+fn execute_job(shared: &Shared, engine: &JobEngine, id: &str) {
+    let tracer = Tracer::enabled();
+    let (spec, dir) = {
+        let mut reg = shared.registry.lock().unwrap();
+        let Some(job) = reg.jobs.get_mut(id) else {
+            return;
+        };
+        job.state = JobState::Running;
+        job.tracer = Some(tracer.clone());
+        job.started = Some(Instant::now());
+        (job.spec.clone(), job.dir.clone())
+    };
+    let outcome = match build_request(&spec, &dir, &shared.opts) {
+        Ok(req) => engine.execute_traced(&req, &tracer),
+        Err(msg) => {
+            eprintln!("reproduce serve: job {id}: {msg}");
+            JobOutcome {
+                code: 1,
+                stdout: String::new(),
+            }
+        }
+    };
+    // Persist what the CLI would have printed, so it is a downloadable
+    // artifact and part of the byte-identity contract.
+    if !outcome.stdout.is_empty() {
+        if let Err(e) = write_atomic(&dir.join("output.txt"), &outcome.stdout) {
+            eprintln!("reproduce serve: job {id}: cannot write output.txt: {e}");
+        }
+    }
+    let status = Json::obj([
+        ("id", Json::from(id)),
+        ("kind", spec.kind().into()),
+        ("code", i64::from(outcome.code).into()),
+    ]);
+    if let Err(e) = write_atomic(&dir.join("status.json"), &status.to_string_pretty()) {
+        eprintln!("reproduce serve: job {id}: cannot write status.json: {e}");
+    }
+    let mut reg = shared.registry.lock().unwrap();
+    if let Some(job) = reg.jobs.get_mut(id) {
+        job.state = JobState::Finished { code: outcome.code };
+    }
+}
+
+/// Materialize the engine request for a spec: the daemon's runtime knobs
+/// (artifact dir, JSON format, quiet narration, default parallelism) on
+/// top of the spec's experiment definition.
+fn build_request(spec: &JobSpec, dir: &Path, opts: &ServeOptions) -> Result<JobRequest, String> {
+    match spec {
+        JobSpec::Run(_) => {
+            let mut run = spec.to_run_options(opts.jobs, opts.retries);
+            run.format = Format::Json;
+            run.out = Some(dir.to_path_buf());
+            run.verbosity = Verbosity::Quiet;
+            Ok(JobRequest::Run(run))
+        }
+        JobSpec::Characterize(_) => {
+            let mut ch = spec.to_characterize_options(opts.jobs, opts.retries);
+            ch.out = Some(dir.to_path_buf());
+            ch.verbosity = Verbosity::Quiet;
+            Ok(JobRequest::Characterize(ch))
+        }
+        JobSpec::Refute(r) => {
+            let mut ch = spec.to_characterize_options(opts.jobs, opts.retries);
+            ch.out = Some(dir.to_path_buf());
+            ch.verbosity = Verbosity::Quiet;
+            ch.fixtures = Some(dir.join("fixtures"));
+            if let Some(model) = &r.model {
+                let path = dir.join("model.json");
+                write_atomic(&path, &model.to_string_pretty())
+                    .map_err(|e| format!("cannot write model.json: {e}"))?;
+                ch.model = Some(path);
+            }
+            Ok(JobRequest::Refute(ch))
+        }
+    }
+}
+
+/// Serve one connection: read a request, route it, answer, close.
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut stream = stream;
+    let req = match Request::read(&mut reader) {
+        Ok(req) => req,
+        Err(HttpError::Closed | HttpError::Io(_)) => return,
+        Err(HttpError::BadRequest(msg)) => {
+            let _ = error_response(400, &msg).write(&mut stream);
+            return;
+        }
+        Err(HttpError::TooLarge(msg)) => {
+            let _ = error_response(413, &msg).write(&mut stream);
+            return;
+        }
+    };
+    let segments: Vec<String> = req
+        .path_segments()
+        .into_iter()
+        .map(str::to_string)
+        .collect();
+    let segs: Vec<&str> = segments.iter().map(String::as_str).collect();
+    let response = match (req.method.as_str(), segs.as_slice()) {
+        ("POST", ["jobs"]) => submit_job(&req, shared),
+        ("GET", ["jobs"]) => list_jobs(shared),
+        ("GET", ["jobs", id]) => job_status(shared, id),
+        ("GET", ["jobs", id, "artifacts"]) => list_artifacts(shared, id),
+        ("GET", ["jobs", id, "artifacts", name]) => get_artifact(shared, id, name),
+        ("GET", ["jobs", id, "events"]) => {
+            // Streams directly on the socket; no Response to send after.
+            stream_events(&mut stream, shared, id);
+            return;
+        }
+        ("POST", ["shutdown"]) => {
+            shared.draining.store(true, Ordering::SeqCst);
+            shared.wake.notify_all();
+            Response::json(202, "{\"draining\": true}")
+        }
+        (_, ["jobs", ..] | ["shutdown"]) => error_response(405, "method not allowed"),
+        _ => error_response(404, "no such resource"),
+    };
+    let _ = response.write(&mut stream);
+}
+
+/// A JSON error body: `{"error": "..."}`.
+fn error_response(status: u16, msg: &str) -> Response {
+    let body = Json::obj([("error", Json::from(msg))]);
+    Response::json(status, &body.to_string_compact())
+}
+
+/// `POST /jobs`: validate the spec, persist it, enqueue.
+fn submit_job(req: &Request, shared: &Shared) -> Response {
+    if shared.draining.load(Ordering::SeqCst) {
+        return error_response(503, "draining: not accepting new jobs");
+    }
+    let text = match std::str::from_utf8(&req.body) {
+        Ok(t) => t,
+        Err(_) => return error_response(400, "body is not UTF-8"),
+    };
+    // Decode errors carry byte offsets (syntax) or field names
+    // (validation) — forward them verbatim as the 400 body.
+    let spec = match JobSpec::decode(text) {
+        Ok(spec) => spec,
+        Err(msg) => return error_response(400, &msg),
+    };
+    let (id, dir) = {
+        let mut reg = shared.registry.lock().unwrap();
+        let pending = reg
+            .jobs
+            .values()
+            .filter(|j| !matches!(j.state, JobState::Finished { .. }))
+            .count();
+        if pending >= MAX_PENDING_JOBS {
+            return error_response(503, "job queue is full");
+        }
+        reg.next_seq += 1;
+        let id = format!("j-{:06}", reg.next_seq);
+        let dir = shared.opts.root.join(&id);
+        reg.jobs.insert(
+            id.clone(),
+            Job {
+                id: id.clone(),
+                spec: spec.clone(),
+                dir: dir.clone(),
+                state: JobState::Queued,
+                tracer: None,
+                started: None,
+            },
+        );
+        reg.queue.push_back(id.clone());
+        (id, dir)
+    };
+    // The canonical spec (defaults materialized) is the job's first
+    // artifact: it documents exactly what will run, and `reproduce` can
+    // be pointed at it to reproduce the job offline.
+    let persisted = std::fs::create_dir_all(&dir)
+        .map_err(|e| e.to_string())
+        .and_then(|()| {
+            write_atomic(&dir.join("spec.json"), &spec.encode().to_string_pretty())
+                .map_err(|e| e.to_string())
+        });
+    if let Err(e) = persisted {
+        let mut reg = shared.registry.lock().unwrap();
+        reg.jobs.remove(&id);
+        reg.queue.retain(|q| q != &id);
+        return error_response(500, &format!("cannot persist job: {e}"));
+    }
+    shared.wake.notify_all();
+    let body = Json::obj([
+        ("id", Json::from(id.as_str())),
+        ("kind", spec.kind().into()),
+        ("status", "queued".into()),
+    ]);
+    Response::json(202, &body.to_string_compact()).with_header("Location", &format!("/jobs/{id}"))
+}
+
+/// One job's status object (registry must be locked by the caller).
+fn status_json(job: &Job) -> Json {
+    let mut m: Vec<(String, Json)> = vec![
+        ("id".into(), job.id.as_str().into()),
+        ("kind".into(), job.spec.kind().into()),
+        ("status".into(), job.state.name().into()),
+        (
+            "code".into(),
+            match job.state {
+                JobState::Finished { code } => i64::from(code).into(),
+                _ => Json::Null,
+            },
+        ),
+    ];
+    if job.state == JobState::Running {
+        if let (Some(tracer), Some(started)) = (&job.tracer, job.started) {
+            let elapsed_ms = started.elapsed().as_millis() as u64;
+            m.push(("progress".into(), progress_line(tracer, elapsed_ms)));
+        }
+    }
+    Json::Obj(m)
+}
+
+/// `GET /jobs`: every job, submission order.
+fn list_jobs(shared: &Shared) -> Response {
+    let reg = shared.registry.lock().unwrap();
+    let jobs = Json::arr(reg.jobs.values().map(status_json));
+    Response::json(200, &Json::obj([("jobs", jobs)]).to_string_pretty())
+}
+
+/// `GET /jobs/:id`.
+fn job_status(shared: &Shared, id: &str) -> Response {
+    let reg = shared.registry.lock().unwrap();
+    match reg.jobs.get(id) {
+        Some(job) => Response::json(200, &status_json(job).to_string_pretty()),
+        None => error_response(404, &format!("no job '{id}'")),
+    }
+}
+
+/// Look up a *finished* job's directory; the common gate for the
+/// artifact endpoints (serving a half-written directory would hand out
+/// torn reads).
+fn finished_job_dir(shared: &Shared, id: &str) -> Result<PathBuf, Response> {
+    let reg = shared.registry.lock().unwrap();
+    match reg.jobs.get(id) {
+        None => Err(error_response(404, &format!("no job '{id}'"))),
+        Some(job) => match job.state {
+            JobState::Finished { .. } => Ok(job.dir.clone()),
+            _ => Err(error_response(
+                409,
+                &format!(
+                    "job '{id}' is {}; artifacts appear when it finishes",
+                    job.state.name()
+                ),
+            )),
+        },
+    }
+}
+
+/// `GET /jobs/:id/artifacts`: sorted file listing.
+fn list_artifacts(shared: &Shared, id: &str) -> Response {
+    let dir = match finished_job_dir(shared, id) {
+        Ok(dir) => dir,
+        Err(resp) => return resp,
+    };
+    let mut names: Vec<String> = match std::fs::read_dir(&dir) {
+        Ok(entries) => entries
+            .filter_map(Result::ok)
+            .filter(|e| e.file_type().map(|t| t.is_file()).unwrap_or(false))
+            .filter_map(|e| e.file_name().into_string().ok())
+            .collect(),
+        Err(e) => return error_response(500, &format!("cannot list artifacts: {e}")),
+    };
+    names.sort();
+    let body = Json::obj([(
+        "artifacts",
+        Json::arr(names.iter().map(|n| n.as_str().into())),
+    )]);
+    Response::json(200, &body.to_string_pretty())
+}
+
+/// `GET /jobs/:id/artifacts/NAME`: download one file. `NAME` must be a
+/// bare file name — anything that could escape the job directory
+/// (separators, `..`) is rejected before touching the filesystem.
+fn get_artifact(shared: &Shared, id: &str, name: &str) -> Response {
+    let dir = match finished_job_dir(shared, id) {
+        Ok(dir) => dir,
+        Err(resp) => return resp,
+    };
+    if name.is_empty()
+        || name == "."
+        || name == ".."
+        || name.contains(['/', '\\'])
+        || name.contains('\0')
+    {
+        return error_response(404, "no such artifact");
+    }
+    let path = dir.join(name);
+    match std::fs::read(&path) {
+        Ok(bytes) => {
+            let content_type = match path.extension().and_then(|e| e.to_str()) {
+                Some("json") => "application/json",
+                Some("csv") => "text/csv",
+                _ => "text/plain; charset=utf-8",
+            };
+            Response {
+                status: 200,
+                headers: vec![("Content-Type".to_string(), content_type.to_string())],
+                body: bytes,
+            }
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            error_response(404, &format!("no artifact '{name}'"))
+        }
+        Err(e) => error_response(500, &format!("cannot read artifact: {e}")),
+    }
+}
+
+/// `GET /jobs/:id/events`: a close-delimited ndjson stream of status
+/// snapshots, one every [`EVENTS_PERIOD`], ending with the terminal
+/// state. The poll-driven shape keeps the handler free of any coupling
+/// to the worker: it reads the same registry the status endpoint does.
+fn stream_events(stream: &mut TcpStream, shared: &Shared, id: &str) {
+    {
+        let reg = shared.registry.lock().unwrap();
+        if !reg.jobs.contains_key(id) {
+            let _ = error_response(404, &format!("no job '{id}'")).write(stream);
+            return;
+        }
+    }
+    if write_streaming_head(stream, 200, "application/x-ndjson").is_err() {
+        return;
+    }
+    loop {
+        let (line, terminal) = {
+            let reg = shared.registry.lock().unwrap();
+            match reg.jobs.get(id) {
+                None => return,
+                Some(job) => (
+                    status_json(job).to_string_compact(),
+                    matches!(job.state, JobState::Finished { .. }),
+                ),
+            }
+        };
+        if stream
+            .write_all(format!("{line}\n").as_bytes())
+            .and_then(|()| stream.flush())
+            .is_err()
+        {
+            return;
+        }
+        if terminal {
+            return;
+        }
+        // A drained daemon never starts its remaining queued jobs; end
+        // those streams instead of pinning the drain on a live client.
+        if shared.draining.load(Ordering::SeqCst) {
+            let reg = shared.registry.lock().unwrap();
+            if reg.jobs.get(id).is_none_or(|j| j.state == JobState::Queued) {
+                return;
+            }
+        }
+        std::thread::sleep(EVENTS_PERIOD);
+    }
+}

@@ -39,5 +39,5 @@ pub use kernel::KernelConfig;
 pub use measurement::Measurement;
 pub use merge::{merge_ordered, Mergeable};
 pub use sampler::{IntervalSample, TimeSeries};
-pub use system::{ProcessSpec, System, SystemBuilder, SystemConfig};
+pub use system::{BootImage, ProcessSpec, System, SystemBuilder, SystemConfig};
 pub use vax_cpu::CpuConfig;

@@ -153,9 +153,25 @@ impl SystemBuilder {
     /// Finish construction: lay out processes, install the kernel, and boot
     /// the CPU to the kernel's entry point.
     ///
+    /// Implemented as [`SystemBuilder::build_image`] followed by
+    /// [`System::from_boot_image`], so a machine restored from a cached
+    /// image is *the same code path* as a freshly built one — warm-cache
+    /// hits cannot diverge from cold builds by construction.
+    ///
     /// # Panics
     /// Panics if no process was added, or resources are exhausted.
-    pub fn build(mut self) -> System {
+    pub fn build(self) -> System {
+        System::from_boot_image(&self.build_image())
+    }
+
+    /// Run the full layout (process address spaces, kernel, SCB, stacks)
+    /// and capture the result as a plain-data [`BootImage`] instead of a
+    /// live machine. The image is `Send`, cheap to clone, and can be
+    /// rehydrated any number of times with [`System::from_boot_image`].
+    ///
+    /// # Panics
+    /// Panics if no process was added, or resources are exhausted.
+    pub fn build_image(mut self) -> BootImage {
         assert!(
             !self.processes.is_empty(),
             "a system needs at least one process"
@@ -190,18 +206,23 @@ impl SystemBuilder {
         self.poke(scb.add(VEC_MCHK * 4), &entries.mchk_isr.to_le_bytes());
         self.poke(scb.add(VEC_DEVICE * 4), &entries.device_isr.to_le_bytes());
 
-        let mut cpu = Cpu::new(self.config.cpu, self.mem);
-        cpu.regs[14] = kstack_top;
-        cpu.set_pc(entries.boot);
-        cpu.psl = Psl::new_kernel(31);
-
-        System {
-            cpu,
+        // The builder only ever touched physical memory and the table
+        // registers (pokes are untimed raw stores); cache, TB, and write
+        // buffer are still in their reset state, so phys + tables + the
+        // boot register file capture the whole machine.
+        let mut regs = [0u32; 16];
+        regs[14] = kstack_top;
+        regs[15] = entries.boot;
+        let all = self.mem.phys().slice(PhysAddr(0), self.mem.phys().size());
+        let used = all.len() - all.iter().rev().take_while(|&&b| b == 0).count();
+        BootImage {
+            config: self.config,
+            phys: all[..used].to_vec(),
+            tables: self.mem.tables,
+            regs,
+            psl: Psl::new_kernel(31),
             nproc: processes.len(),
             entries,
-            faults: FaultPlan::none(),
-            deadline: None,
-            watchdog_countdown: WATCHDOG_STRIDE,
         }
     }
 
@@ -259,6 +280,35 @@ impl SystemBuilder {
     }
 }
 
+/// A booted machine captured as plain data: the physical-memory contents
+/// after layout (trimmed of trailing zero bytes), the page-table registers,
+/// and the boot register file. Unlike [`System`] this is `Send`, so a warm
+/// cache can hand one image to any worker thread; rehydration via
+/// [`System::from_boot_image`] costs a memcpy instead of a full layout.
+#[derive(Debug, Clone)]
+pub struct BootImage {
+    config: SystemConfig,
+    /// Physical memory up to the last nonzero byte; the rest is zero.
+    phys: Vec<u8>,
+    tables: PageTables,
+    regs: [u32; 16],
+    psl: Psl,
+    nproc: usize,
+    entries: KernelEntries,
+}
+
+impl BootImage {
+    /// The configuration the image was built for.
+    pub fn config(&self) -> SystemConfig {
+        self.config
+    }
+
+    /// Size in bytes of the retained (nonzero) physical-memory prefix.
+    pub fn retained_bytes(&self) -> usize {
+        self.phys.len()
+    }
+}
+
 /// How many steps pass between watchdog deadline checks. `Instant::now()`
 /// is far too expensive per step; at ~3M simulated instructions/s this
 /// stride still bounds overrun detection to well under a millisecond.
@@ -282,6 +332,29 @@ pub struct System {
 }
 
 impl System {
+    /// Rehydrate a machine from a captured [`BootImage`]: fresh memory
+    /// system (cold cache, TB, and write buffer — exactly the reset state a
+    /// cold build leaves them in), image bytes loaded, table registers and
+    /// boot register file restored. [`SystemBuilder::build`] routes through
+    /// this, so restored and freshly built machines are indistinguishable.
+    pub fn from_boot_image(img: &BootImage) -> System {
+        let mut mem = MemorySystem::new(img.config.mem);
+        mem.tables = img.tables;
+        mem.phys_mut().load(PhysAddr(0), &img.phys);
+        let mut cpu = Cpu::new(img.config.cpu, mem);
+        cpu.regs = img.regs;
+        cpu.psl = img.psl;
+        cpu.set_pc(img.regs[15]);
+        System {
+            cpu,
+            nproc: img.nproc,
+            entries: img.entries.clone(),
+            faults: FaultPlan::none(),
+            deadline: None,
+            watchdog_countdown: WATCHDOG_STRIDE,
+        }
+    }
+
     /// Install a fault plan. Events fire between instructions of the next
     /// *measured* interval, keyed by the measured-instruction count (the
     /// warm-up is never perturbed).
@@ -515,6 +588,22 @@ mod tests {
             sys.cpu.stats.context_switches
         );
         assert!(sys.cpu.stats.sw_interrupts > 0, "softints must deliver");
+    }
+
+    #[test]
+    fn boot_image_rehydrates_identically() {
+        let image = {
+            let mut b = SystemBuilder::new(SystemConfig::default());
+            b.add_process(spin_process());
+            b.add_process(spin_process());
+            b.build_image()
+        };
+        assert!(image.retained_bytes() > 0);
+        assert!(image.retained_bytes() < 8 << 20, "image must be trimmed");
+        let measure = |sys: &mut System| sys.measure(2_000, 10_000);
+        let a = measure(&mut System::from_boot_image(&image));
+        let b = measure(&mut System::from_boot_image(&image));
+        assert_eq!(a, b, "two rehydrations must measure identically");
     }
 
     #[test]

@@ -1,0 +1,409 @@
+//! # vax-serve
+//!
+//! Dependency-free HTTP/1.1 message primitives for the `reproduce serve`
+//! daemon: request parsing and response serialization over any
+//! `Read`/`Write` pair (in practice a `std::net::TcpStream`).
+//!
+//! This is deliberately a *message* library, not a framework — no thread
+//! pool, no router, no TLS. The daemon (`vax_bench::serve`) owns the
+//! listener, the connection loop, and the job registry; this crate owns
+//! the wire format, so it can be tested exhaustively against hostile
+//! input without opening a socket.
+//!
+//! Scope and limits (all deliberate for a loopback control plane):
+//!
+//! * one request per connection (`Connection: close` semantics — the
+//!   daemon serves artifacts, not web pages; connection reuse buys
+//!   nothing on loopback and costs keep-alive bookkeeping);
+//! * bodies require `Content-Length` (no chunked *requests*; responses
+//!   may stream by omitting the length and closing, which HTTP/1.1
+//!   permits — used by the events endpoint);
+//! * hard caps on header block and body size, so a malicious or confused
+//!   client cannot balloon daemon memory.
+
+use std::io::{self, Read, Write};
+
+/// Largest accepted request head (request line + headers), bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Largest accepted request body, bytes. Job specs are small; the only
+/// sizable payload is an inline refute model, well under this.
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// A parse/IO failure while reading a request, tagged with the HTTP
+/// status the server should answer with.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed request — answer 400 with the message.
+    BadRequest(String),
+    /// Head or body exceeded the caps — answer 413.
+    TooLarge(String),
+    /// The peer vanished or the socket failed; nothing to answer.
+    Io(io::Error),
+    /// Clean EOF before any byte of a request (peer closed an idle
+    /// connection); nothing to answer.
+    Closed,
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::BadRequest(m) => write!(f, "bad request: {m}"),
+            HttpError::TooLarge(m) => write!(f, "too large: {m}"),
+            HttpError::Io(e) => write!(f, "io: {e}"),
+            HttpError::Closed => write!(f, "connection closed"),
+        }
+    }
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> HttpError {
+        HttpError::Io(e)
+    }
+}
+
+/// A parsed HTTP/1.1 request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method token (`GET`, `POST`, …) as sent.
+    pub method: String,
+    /// The request target, percent-decoding *not* applied (job IDs and
+    /// artifact names are plain ASCII; anything else 404s naturally).
+    pub target: String,
+    /// Header name/value pairs in arrival order, names as sent.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty unless `Content-Length` was given).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Read and parse one request from `stream`.
+    ///
+    /// # Errors
+    /// [`HttpError::Closed`] on clean EOF before the first byte,
+    /// [`HttpError::BadRequest`] / [`HttpError::TooLarge`] on malformed
+    /// or oversized input, [`HttpError::Io`] on socket failure.
+    pub fn read(stream: &mut impl Read) -> Result<Request, HttpError> {
+        let head = read_head(stream)?;
+        let head_text = std::str::from_utf8(&head)
+            .map_err(|_| HttpError::BadRequest("request head is not UTF-8".to_string()))?;
+        let mut lines = head_text.split("\r\n");
+        let request_line = lines.next().unwrap_or("");
+        let mut parts = request_line.split(' ');
+        let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(m), Some(t), Some(v)) if parts.next().is_none() && !m.is_empty() => {
+                (m.to_string(), t.to_string(), v)
+            }
+            _ => {
+                return Err(HttpError::BadRequest(format!(
+                    "malformed request line: '{request_line}'"
+                )))
+            }
+        };
+        if version != "HTTP/1.1" && version != "HTTP/1.0" {
+            return Err(HttpError::BadRequest(format!(
+                "unsupported protocol version '{version}'"
+            )));
+        }
+        let mut headers = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| HttpError::BadRequest(format!("malformed header line: '{line}'")))?;
+            if name.is_empty() || name.contains(' ') {
+                return Err(HttpError::BadRequest(format!(
+                    "malformed header name: '{name}'"
+                )));
+            }
+            headers.push((name.to_string(), value.trim().to_string()));
+        }
+        let mut req = Request {
+            method,
+            target,
+            headers,
+            body: Vec::new(),
+        };
+        if let Some(te) = req.header("transfer-encoding") {
+            return Err(HttpError::BadRequest(format!(
+                "transfer-encoding '{te}' is not supported; send Content-Length"
+            )));
+        }
+        if let Some(raw) = req.header("content-length") {
+            let len: usize = raw
+                .parse()
+                .map_err(|_| HttpError::BadRequest(format!("invalid Content-Length: '{raw}'")))?;
+            if len > MAX_BODY_BYTES {
+                return Err(HttpError::TooLarge(format!(
+                    "body of {len} bytes exceeds the {MAX_BODY_BYTES}-byte cap"
+                )));
+            }
+            let mut body = vec![0u8; len];
+            stream.read_exact(&mut body).map_err(|e| {
+                if e.kind() == io::ErrorKind::UnexpectedEof {
+                    HttpError::BadRequest(format!(
+                        "body truncated: Content-Length said {len} bytes"
+                    ))
+                } else {
+                    HttpError::Io(e)
+                }
+            })?;
+            req.body = body;
+        }
+        Ok(req)
+    }
+
+    /// First value of a header, matched case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The target split into non-empty `/`-separated segments, query
+    /// string (anything from `?`) stripped.
+    pub fn path_segments(&self) -> Vec<&str> {
+        let path = self.target.split('?').next().unwrap_or("");
+        path.split('/').filter(|s| !s.is_empty()).collect()
+    }
+}
+
+/// Read until the `\r\n\r\n` head terminator, capped at
+/// [`MAX_HEAD_BYTES`]. Byte-at-a-time is fine here: the daemon wraps the
+/// socket in a `BufReader`, and heads are a few hundred bytes.
+fn read_head(stream: &mut impl Read) -> Result<Vec<u8>, HttpError> {
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => {
+                return Err(if head.is_empty() {
+                    HttpError::Closed
+                } else {
+                    HttpError::BadRequest("request truncated mid-head".to_string())
+                });
+            }
+            Ok(_) => {
+                head.push(byte[0]);
+                if head.len() > MAX_HEAD_BYTES {
+                    return Err(HttpError::TooLarge(format!(
+                        "request head exceeds the {MAX_HEAD_BYTES}-byte cap"
+                    )));
+                }
+                if head.ends_with(b"\r\n\r\n") {
+                    head.truncate(head.len() - 4);
+                    return Ok(head);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+}
+
+/// The standard reason phrase for the status codes the daemon uses.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        204 => "No Content",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        415 => "Unsupported Media Type",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// An HTTP/1.1 response to serialize.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code (reason phrase is derived via [`reason`]).
+    pub status: u16,
+    /// Extra headers beyond `Content-Length` and `Connection: close`,
+    /// which [`Response::write`] always emits.
+    pub headers: Vec<(String, String)>,
+    /// The body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A bodyless response.
+    pub fn empty(status: u16) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// A `application/json` response.
+    pub fn json(status: u16, body: &str) -> Response {
+        Response {
+            status,
+            headers: vec![("Content-Type".to_string(), "application/json".to_string())],
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    /// A `text/plain` response.
+    pub fn text(status: u16, body: &str) -> Response {
+        Response {
+            status,
+            headers: vec![(
+                "Content-Type".to_string(),
+                "text/plain; charset=utf-8".to_string(),
+            )],
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    /// Add a header.
+    #[must_use]
+    pub fn with_header(mut self, name: &str, value: &str) -> Response {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// Serialize the complete response (with `Content-Length` and
+    /// `Connection: close`).
+    ///
+    /// # Errors
+    /// Propagates socket write failures.
+    pub fn write(&self, w: &mut impl Write) -> io::Result<()> {
+        let mut head = format!("HTTP/1.1 {} {}\r\n", self.status, reason(self.status));
+        for (name, value) in &self.headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str(&format!("Content-Length: {}\r\n", self.body.len()));
+        head.push_str("Connection: close\r\n\r\n");
+        w.write_all(head.as_bytes())?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// Write only a response head with *no* `Content-Length` — the caller
+/// streams the body and closes the connection to delimit it (HTTP/1.1
+/// close-delimited framing). Used by the job events endpoint.
+///
+/// # Errors
+/// Propagates socket write failures.
+pub fn write_streaming_head(w: &mut impl Write, status: u16, content_type: &str) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {content_type}\r\nConnection: close\r\n\r\n",
+        status,
+        reason(status)
+    );
+    w.write_all(head.as_bytes())?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(bytes: &[u8]) -> Result<Request, HttpError> {
+        Request::read(&mut &bytes[..])
+    }
+
+    #[test]
+    fn parses_a_get_request() {
+        let req =
+            parse(b"GET /jobs/j-1/artifacts?x=1 HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path_segments(), vec!["jobs", "j-1", "artifacts"]);
+        assert_eq!(req.header("host"), Some("localhost"));
+        assert_eq!(req.header("HOST"), Some("localhost"), "case-insensitive");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse(b"POST /jobs HTTP/1.1\r\nContent-Length: 4\r\n\r\n{})(").unwrap();
+        assert_eq!(req.body, b"{})(");
+    }
+
+    #[test]
+    fn rejects_truncated_head_and_body() {
+        assert!(matches!(
+            parse(b"GET /jobs HTTP/1.1\r\nHost: x"),
+            Err(HttpError::BadRequest(_))
+        ));
+        let err = parse(b"POST /jobs HTTP/1.1\r\nContent-Length: 10\r\n\r\n{}").unwrap_err();
+        assert!(matches!(err, HttpError::BadRequest(ref m) if m.contains("truncated")));
+    }
+
+    #[test]
+    fn rejects_malformed_request_lines() {
+        for raw in [
+            &b"GET\r\n\r\n"[..],
+            &b"GET /x HTTP/1.1 extra\r\n\r\n"[..],
+            &b"GET /x SMTP/1.0\r\n\r\n"[..],
+            &b"\xff\xfe /x HTTP/1.1\r\n\r\n"[..],
+        ] {
+            assert!(
+                matches!(parse(raw), Err(HttpError::BadRequest(_))),
+                "{raw:?} must be a 400"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_lengths_and_encodings() {
+        assert!(matches!(
+            parse(b"POST /jobs HTTP/1.1\r\nContent-Length: banana\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse(b"POST /jobs HTTP/1.1\r\nContent-Length: 99999999999\r\n\r\n"),
+            Err(HttpError::TooLarge(_))
+        ));
+        assert!(matches!(
+            parse(b"POST /jobs HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn clean_eof_is_closed_not_an_error_message() {
+        assert!(matches!(parse(b""), Err(HttpError::Closed)));
+    }
+
+    #[test]
+    fn caps_the_head_size() {
+        let mut raw = b"GET /jobs HTTP/1.1\r\n".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES + 10));
+        assert!(matches!(parse(&raw), Err(HttpError::TooLarge(_))));
+    }
+
+    #[test]
+    fn serializes_a_response() {
+        let mut out = Vec::new();
+        Response::json(202, "{\"id\":\"j-1\"}")
+            .with_header("Location", "/jobs/j-1")
+            .write(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 202 Accepted\r\n"), "{text}");
+        assert!(text.contains("Content-Type: application/json\r\n"));
+        assert!(text.contains("Location: /jobs/j-1\r\n"));
+        assert!(text.contains("Content-Length: 12\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"id\":\"j-1\"}"), "{text}");
+    }
+
+    #[test]
+    fn streaming_head_has_no_length() {
+        let mut out = Vec::new();
+        write_streaming_head(&mut out, 200, "application/x-ndjson").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(!text.contains("Content-Length"), "{text}");
+        assert!(text.contains("Connection: close"), "{text}");
+    }
+}

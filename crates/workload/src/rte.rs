@@ -2,7 +2,7 @@
 //! workload, run it, and form the composite measurement.
 
 use rand::SeedStream;
-use vax780::{Measurement, ProcessSpec, System, SystemBuilder, SystemConfig};
+use vax780::{BootImage, Measurement, ProcessSpec, System, SystemBuilder, SystemConfig};
 
 use crate::codegen::generate_process;
 use crate::profile::Workload;
@@ -32,11 +32,20 @@ pub fn shard_processes(workload: Workload, nproc: usize, seed: u64) -> Vec<Proce
 /// The kernel-boot phase in isolation: assemble and boot a system from
 /// pre-generated processes (see [`shard_processes`]).
 pub fn boot_system(processes: Vec<ProcessSpec>) -> System {
+    System::from_boot_image(&boot_image(processes))
+}
+
+/// [`boot_system`] up to (but not including) rehydration: run the full
+/// layout and return the plain-data [`BootImage`]. A warm cache can hold
+/// the image (it is `Send` and cheap to clone) and stamp out systems with
+/// [`System::from_boot_image`] — the exact path [`boot_system`] takes, so
+/// cached boots cannot diverge from cold ones.
+pub fn boot_image(processes: Vec<ProcessSpec>) -> BootImage {
     let mut builder = SystemBuilder::new(SystemConfig::default());
     for spec in processes {
         builder.add_process(spec);
     }
-    builder.build()
+    builder.build_image()
 }
 
 /// Build a booted system running `workload` with `nproc` generated user
