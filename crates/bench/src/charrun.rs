@@ -28,7 +28,7 @@ use vax_trace::{worker_tid, Tracer, MAIN_TID};
 
 use crate::cli::CharacterizeOptions;
 use crate::fsio::write_atomic;
-use crate::pool::{panic_message, run_supervised_traced};
+use crate::pool::{panic_message, run_supervised_cancelable};
 use crate::progress::Progress;
 
 /// Everything `reproduce characterize` produces.
@@ -189,12 +189,13 @@ pub fn run_characterize(
     let baseline = run_baseline(opts, tracer);
     let baseline_cpi = baseline.m.cycles as f64 / baseline.m.instructions().max(1) as f64;
 
-    let outcome = run_supervised_traced(
+    let outcome = run_supervised_cancelable(
         opts.jobs,
         &targets,
         opts.retries,
         tracer,
         run_span.id(),
+        &opts.cancel,
         |worker, _i, target: &ProbeTarget, attempt| {
             let tid = worker_tid(worker);
             let run = probe_cell(target, opts, tracer, tid, attempt);
@@ -212,6 +213,12 @@ pub fn run_characterize(
             record
         },
     );
+
+    if let Some(kind) = opts.cancel.fired() {
+        tracer.instant(MAIN_TID, "cancel", vec![("kind", kind.name().into())]);
+        tracer.count(MAIN_TID, "jobs_canceled", 1);
+        progress.info(&format!("characterize {} at a cell boundary", kind.name()));
+    }
 
     let mut failed_cells = Vec::new();
     for f in &outcome.failures {
@@ -300,12 +307,13 @@ pub fn run_refute(
 
     let baseline = run_baseline(opts, tracer);
 
-    let outcome = run_supervised_traced(
+    let outcome = run_supervised_cancelable(
         opts.jobs,
         &targets,
         opts.retries,
         tracer,
         run_span.id(),
+        &opts.cancel,
         |worker, _i, target: &ProbeTarget, attempt| {
             let tid = worker_tid(worker);
             let run = probe_cell(target, opts, tracer, tid, attempt);
@@ -327,6 +335,12 @@ pub fn run_refute(
             failures
         },
     );
+
+    if let Some(kind) = opts.cancel.fired() {
+        tracer.instant(MAIN_TID, "cancel", vec![("kind", kind.name().into())]);
+        tracer.count(MAIN_TID, "jobs_canceled", 1);
+        progress.info(&format!("refute {} at a cell boundary", kind.name()));
+    }
 
     let mut failed_cells = Vec::new();
     for f in &outcome.failures {
@@ -372,6 +386,12 @@ pub fn run_refute(
         }
     }
 
+    // A fired token also skips minimization: the shrink search re-runs
+    // probes serially and would push a deadline-exceeded job well past
+    // its budget.
+    if opts.cancel.fired().is_some() {
+        to_minimize.clear();
+    }
     let mut refutations = Vec::new();
     for (target, failures) in to_minimize {
         let minimized = {

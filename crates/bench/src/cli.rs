@@ -97,6 +97,11 @@ pub struct Options {
     /// Emit a machine-readable progress heartbeat on stderr every N ms
     /// (`--progress` = 1000, `--progress=MS`). Enables the tracer.
     pub progress_ms: Option<u64>,
+    /// Cooperative cancel token, checked at cell boundaries. The CLI
+    /// leaves it inert (no flag sets it); the serve daemon installs a live
+    /// token so `POST /jobs/:id/cancel` and `deadline_secs` can stop the
+    /// grid between cells.
+    pub cancel: crate::cancel::CancelToken,
 }
 
 impl Default for Options {
@@ -124,6 +129,7 @@ impl Default for Options {
             inject_panic: None,
             trace_out: None,
             progress_ms: None,
+            cancel: crate::cancel::CancelToken::default(),
         }
     }
 }
@@ -149,6 +155,8 @@ pub struct ResumeOptions {
     pub trace_out: Option<PathBuf>,
     /// Progress-heartbeat period in ms.
     pub progress_ms: Option<u64>,
+    /// Cooperative cancel token (see [`Options::cancel`]).
+    pub cancel: crate::cancel::CancelToken,
 }
 
 /// Options for `reproduce serve`: the long-lived characterization daemon.
@@ -164,6 +172,10 @@ pub struct ServeOptions {
     pub jobs: usize,
     /// Default retry budget per cell.
     pub retries: u32,
+    /// Concurrent-connection cap: the daemon sheds load with `503` +
+    /// `Retry-After` beyond this many in-flight connections, so a flood
+    /// cannot exhaust file descriptors or threads.
+    pub max_connections: usize,
     /// Stderr narration level.
     pub verbosity: Verbosity,
 }
@@ -175,6 +187,7 @@ impl Default for ServeOptions {
             root: PathBuf::from("serve-runs"),
             jobs: 1,
             retries: 0,
+            max_connections: 64,
             verbosity: Verbosity::Normal,
         }
     }
@@ -223,6 +236,8 @@ pub struct CharacterizeOptions {
     pub trace_out: Option<PathBuf>,
     /// Progress-heartbeat period in ms.
     pub progress_ms: Option<u64>,
+    /// Cooperative cancel token (see [`Options::cancel`]).
+    pub cancel: crate::cancel::CancelToken,
     /// Cost table to refute (`refute --model costs.json`).
     pub model: Option<PathBuf>,
     /// Absolute model tolerance, cycles per instruction.
@@ -251,6 +266,7 @@ impl Default for CharacterizeOptions {
             verbosity: Verbosity::Normal,
             trace_out: None,
             progress_ms: None,
+            cancel: crate::cancel::CancelToken::default(),
             model: None,
             abs_tol: 0.5,
             rel_tol: 0.01,
@@ -307,7 +323,7 @@ pub fn usage() -> String {
      [--model COSTS_JSON] [--abs-tol X] [--rel-tol X] [--fixtures DIR] \
      [--max-refutations N]\n\
      \x20      reproduce serve [--addr HOST:PORT] [--root DIR] [--jobs N] \
-     [--retries N] [--quiet|--verbose]"
+     [--retries N] [--max-connections N] [--quiet|--verbose]"
         .to_string()
 }
 
@@ -482,6 +498,17 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
                     .ok_or_else(|| "--root requires a directory".to_string())?;
                 opts.root = PathBuf::from(dir);
             }
+            "--max-connections" => {
+                i += 1;
+                let n = parse_u64("--max-connections", args.get(i))?;
+                if n == 0 {
+                    return Err(
+                        "invalid value for --max-connections: '0' (expected at least 1)"
+                            .to_string(),
+                    );
+                }
+                opts.max_connections = n as usize;
+            }
             other => return Err(format!("unknown argument '{other}' for serve\n{}", usage())),
         }
         i += 1;
@@ -543,6 +570,7 @@ pub fn parse_resume_args(args: &[String]) -> Result<ResumeOptions, String> {
         verbosity: Verbosity::Normal,
         trace_out: None,
         progress_ms: None,
+        cancel: crate::cancel::CancelToken::default(),
     };
     let mut common = CommonOpts::default();
     let mut i = 0;
@@ -1248,6 +1276,8 @@ mod tests {
             "4",
             "--retries",
             "1",
+            "--max-connections",
+            "8",
             "--quiet",
         ])
         .unwrap()
@@ -1257,6 +1287,7 @@ mod tests {
                 assert_eq!(s.root, std::path::PathBuf::from("/tmp/jobs"));
                 assert_eq!(s.jobs, 4);
                 assert_eq!(s.retries, 1);
+                assert_eq!(s.max_connections, 8);
                 assert_eq!(s.verbosity, Verbosity::Quiet);
             }
             _ => panic!("expected serve"),
@@ -1265,6 +1296,7 @@ mod tests {
             Command::Serve(s) => {
                 assert_eq!(s.addr, "127.0.0.1:4780");
                 assert_eq!(s.jobs, 1);
+                assert_eq!(s.max_connections, 64);
             }
             _ => panic!("expected serve"),
         }
@@ -1272,6 +1304,9 @@ mod tests {
             .unwrap_err()
             .contains("HOST:PORT"));
         assert!(parse_cmd(&["serve", "--jobs", "0"])
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse_cmd(&["serve", "--max-connections", "0"])
             .unwrap_err()
             .contains("at least 1"));
         assert!(parse_cmd(&["serve", "--trace-out", "t.json"])

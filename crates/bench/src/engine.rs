@@ -186,6 +186,16 @@ impl JobEngine {
                 }
             }
         }
+        if let Some(kind) = out.canceled {
+            // A canceled run keeps its checkpoints and runtime.json but
+            // never exports final artifacts — a half-covered composite
+            // must not look like a finished measurement.
+            progress.info(&format!(
+                "run {}: final artifacts not exported",
+                kind.name()
+            ));
+            return (JobOutcome { code: 1, stdout }, opts.out.clone());
+        }
         let code = render_and_export(opts, &out, progress, tracer, &mut stdout);
         (JobOutcome { code, stdout }, opts.out.clone())
     }
@@ -208,6 +218,13 @@ impl JobEngine {
                     return (JobOutcome { code: 1, stdout }, None);
                 }
             };
+        if let Some(kind) = out.canceled {
+            progress.info(&format!(
+                "resume {}: final artifacts not exported",
+                kind.name()
+            ));
+            return (JobOutcome { code: 1, stdout }, opts.out.clone());
+        }
         let code = render_and_export(&opts, &out, progress, tracer, &mut stdout);
         (JobOutcome { code, stdout }, opts.out.clone())
     }
@@ -313,6 +330,15 @@ fn run_characterize(
         return JobOutcome { code: 0, stdout };
     }
     let out = charrun::run_characterize(opts, progress, tracer);
+    if let Some(kind) = opts.cancel.fired() {
+        // A partial sweep is not a cost table; keep runtime.json, skip
+        // the exports.
+        progress.info(&format!(
+            "characterize {}: cost table not exported",
+            kind.name()
+        ));
+        return JobOutcome { code: 1, stdout };
+    }
     let json = vax_analysis::costs_json(&out.table);
     let mut code = i32::from(!out.failed_cells.is_empty());
     match &opts.out {
@@ -360,6 +386,11 @@ fn run_refute(opts: &CharacterizeOptions, progress: &Progress, tracer: &Tracer) 
         Err(msg) => {
             eprintln!("reproduce refute: {msg}");
             2
+        }
+        Ok(_) if opts.cancel.fired().is_some() => {
+            // The sweep stopped early; a partial verdict list would read
+            // as "the rest of the grid survived", which it did not.
+            1
         }
         Ok(out) => {
             for (opcode, mode, checks) in &out.refuted_cells {

@@ -69,6 +69,24 @@ pub fn progress_line(tracer: &Tracer, elapsed_ms: u64) -> Json {
         ("instructions".to_string(), Json::Int(instructions as i64)),
         ("instr_per_sec".to_string(), Json::Num(instr_per_sec)),
         ("eta_seconds".to_string(), eta),
+        // Recovery and cancellation counters (serve daemon lifecycle;
+        // zero for ordinary CLI runs).
+        (
+            "jobs_recovered".to_string(),
+            Json::Int(get("jobs_recovered") as i64),
+        ),
+        (
+            "jobs_resumed".to_string(),
+            Json::Int(get("jobs_resumed") as i64),
+        ),
+        (
+            "jobs_canceled".to_string(),
+            Json::Int(get("jobs_canceled") as i64),
+        ),
+        (
+            "retry_backoff_ms".to_string(),
+            Json::Int(get("retry_backoff_ms") as i64),
+        ),
         ("workers".to_string(), Json::Arr(workers)),
     ])
 }
@@ -175,6 +193,9 @@ mod tests {
         t.counter_set("cells_total", 10);
         t.count(MAIN_TID, "cells_done", 4);
         t.count(MAIN_TID, "instructions", 2_000_000);
+        t.count(MAIN_TID, "jobs_recovered", 1);
+        t.count(MAIN_TID, "jobs_resumed", 1);
+        t.count(MAIN_TID, "retry_backoff_ms", 35);
         t.set_thread_name(worker_tid(0), "worker-0");
         let _g = t.span(worker_tid(0), "simulate", vec![]);
 
@@ -188,6 +209,11 @@ mod tests {
         );
         // 2 s for 4 cells → 3 s for the remaining 6.
         assert_eq!(j.get("eta_seconds").and_then(Json::as_f64), Some(3.0));
+        // Recovery/cancel counters ride along; absent counters are 0.
+        assert_eq!(j.get("jobs_recovered").and_then(Json::as_i64), Some(1));
+        assert_eq!(j.get("jobs_resumed").and_then(Json::as_i64), Some(1));
+        assert_eq!(j.get("jobs_canceled").and_then(Json::as_i64), Some(0));
+        assert_eq!(j.get("retry_backoff_ms").and_then(Json::as_i64), Some(35));
         let workers = j.get("workers").and_then(Json::as_arr).unwrap();
         let sim = workers
             .iter()

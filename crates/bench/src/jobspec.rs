@@ -56,6 +56,12 @@ pub struct RunSpec {
     pub jobs: Option<u64>,
     /// Suggested retry budget per cell (`None` = the runner's default).
     pub retries: Option<u64>,
+    /// Wall-clock budget in seconds (> 0), measured from job start; the
+    /// serve daemon ends the job with terminal status `deadline_exceeded`
+    /// at the next cell boundary once elapsed. `None` = no deadline.
+    /// Runtime-only: never changes results, only whether the job is
+    /// allowed to finish.
+    pub deadline_secs: Option<f64>,
     /// Instructions measured per workload (≥ 1).
     pub instructions: u64,
     /// Root RNG seed.
@@ -89,6 +95,7 @@ impl Default for RunSpec {
         RunSpec {
             jobs: None,
             retries: None,
+            deadline_secs: None,
             instructions: o.instructions,
             seed: o.seed,
             shards: o.shards,
@@ -113,6 +120,8 @@ pub struct ProbeSpec {
     pub jobs: Option<u64>,
     /// Suggested retry budget per cell (`None` = the runner's default).
     pub retries: Option<u64>,
+    /// Wall-clock budget in seconds (see [`RunSpec::deadline_secs`]).
+    pub deadline_secs: Option<f64>,
     /// Opcode filter (upper-cased mnemonics); empty = the full table.
     pub opcodes: Vec<String>,
     /// Addressing-mode filter (mode keys); empty = all modes.
@@ -131,6 +140,7 @@ impl Default for ProbeSpec {
         ProbeSpec {
             jobs: None,
             retries: None,
+            deadline_secs: None,
             opcodes: Vec::new(),
             modes: Vec::new(),
             reps: o.reps as u64,
@@ -198,6 +208,15 @@ impl JobSpec {
         }
     }
 
+    /// Wall-clock budget in seconds, if the spec carries one.
+    pub fn deadline_secs(&self) -> Option<f64> {
+        match self {
+            JobSpec::Run(s) => s.deadline_secs,
+            JobSpec::Characterize(s) => s.deadline_secs,
+            JobSpec::Refute(s) => s.probe.deadline_secs,
+        }
+    }
+
     /// Canonical encoding: every field of the kind, fixed order, defaults
     /// materialized. `encode(decode(encode(x)))` is byte-identical to
     /// `encode(x)`.
@@ -207,6 +226,10 @@ impl JobSpec {
             ("kind".into(), self.kind().into()),
             ("jobs".into(), opt_u64_json(self.jobs())),
             ("retries".into(), opt_u64_json(self.retries())),
+            (
+                "deadline_secs".into(),
+                self.deadline_secs().map_or(Json::Null, Json::from),
+            ),
         ];
         match self {
             JobSpec::Run(s) => {
@@ -271,7 +294,7 @@ impl JobSpec {
             Some(Json::Str(s)) => s.clone(),
             Some(_) => return Err("jobspec: 'kind' must be a string".to_string()),
         };
-        const COMMON: &[&str] = &["format_version", "kind", "jobs", "retries"];
+        const COMMON: &[&str] = &["format_version", "kind", "jobs", "retries", "deadline_secs"];
         const RUN: &[&str] = &[
             "instructions",
             "seed",
@@ -305,11 +328,16 @@ impl JobSpec {
         }
         let jobs = field_u64(json, "jobs", 1, MAX_GRID)?;
         let retries = field_u64(json, "retries", 0, 1_000)?;
+        let deadline_secs = field_f64(json, "deadline_secs")?;
+        if deadline_secs == Some(0.0) {
+            return Err("jobspec: 'deadline_secs' must be greater than zero".to_string());
+        }
         match kind.as_str() {
             "run" => {
                 let mut spec = RunSpec {
                     jobs,
                     retries,
+                    deadline_secs,
                     ..RunSpec::default()
                 };
                 if let Some(v) = field_u64(json, "instructions", 1, u64::MAX)? {
@@ -366,9 +394,14 @@ impl JobSpec {
                 }
                 Ok(JobSpec::Run(spec))
             }
-            "characterize" => Ok(JobSpec::Characterize(probe_from_json(json, jobs, retries)?)),
+            "characterize" => Ok(JobSpec::Characterize(probe_from_json(
+                json,
+                jobs,
+                retries,
+                deadline_secs,
+            )?)),
             "refute" => {
-                let probe = probe_from_json(json, jobs, retries)?;
+                let probe = probe_from_json(json, jobs, retries, deadline_secs)?;
                 let mut spec = RefuteSpec {
                     probe,
                     ..RefuteSpec::default()
@@ -486,10 +519,12 @@ fn probe_from_json(
     json: &Json,
     jobs: Option<u64>,
     retries: Option<u64>,
+    deadline_secs: Option<f64>,
 ) -> Result<ProbeSpec, String> {
     let mut spec = ProbeSpec {
         jobs,
         retries,
+        deadline_secs,
         ..ProbeSpec::default()
     };
     for mn in field_str_arr(json, "opcodes")? {
@@ -605,6 +640,7 @@ mod tests {
         let spec = JobSpec::Run(RunSpec {
             jobs: Some(4),
             retries: Some(1),
+            deadline_secs: Some(2.5),
             instructions: 60_000,
             seed: 7,
             shards: 2,
@@ -655,8 +691,21 @@ mod tests {
             r#"{"kind": "run", "instructions": 0}"#,
             r#"{"kind": "characterize", "reps": 0}"#,
             r#"{"kind": "characterize", "iters": 0}"#,
+            r#"{"kind": "run", "deadline_secs": 0}"#,
+            r#"{"kind": "run", "deadline_secs": -1}"#,
         ] {
             assert!(JobSpec::decode(body).is_err(), "{body} must be rejected");
+        }
+    }
+
+    #[test]
+    fn deadline_is_a_common_field() {
+        for kind in ["run", "characterize", "refute"] {
+            let body = format!(r#"{{"kind": "{kind}", "deadline_secs": 1.5}}"#);
+            let spec = JobSpec::decode(&body).unwrap();
+            assert_eq!(spec.deadline_secs(), Some(1.5), "{kind}");
+            let text = spec.encode().to_string_pretty();
+            assert_eq!(JobSpec::decode(&text).unwrap(), spec, "{kind} round-trip");
         }
     }
 

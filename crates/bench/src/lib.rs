@@ -6,6 +6,7 @@
 
 pub mod benchcheck;
 pub mod cache;
+pub mod cancel;
 pub mod charrun;
 pub mod cli;
 pub mod diffcmd;

@@ -22,8 +22,34 @@ use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Duration;
 
 use vax_trace::{worker_tid, SpanId, Tracer};
+
+use crate::cancel::CancelToken;
+
+/// First-retry backoff in milliseconds; doubles per attempt up to
+/// [`BACKOFF_CAP_MS`], with deterministic jitter on top.
+const BACKOFF_BASE_MS: u64 = 10;
+
+/// Upper bound on a single retry backoff, jitter included.
+const BACKOFF_CAP_MS: u64 = 1_000;
+
+/// Seeded exponential backoff before retry `attempt + 1` of input `i`:
+/// `BACKOFF_BASE_MS << attempt` plus SplitMix64-style jitter in `[0, base)`
+/// derived from `(i, attempt)` alone — deterministic and jobs-invariant, so
+/// a retried run's `retry_backoff_ms` counter never depends on the worker
+/// count. Capped at [`BACKOFF_CAP_MS`].
+fn backoff_ms(i: u64, attempt: u32) -> u64 {
+    let base = (BACKOFF_BASE_MS << attempt.min(16)).min(BACKOFF_CAP_MS);
+    let mut z = i
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(u64::from(attempt));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    let jitter = (z ^ (z >> 31)) % base.max(1);
+    (base + jitter).min(BACKOFF_CAP_MS)
+}
 
 /// A job that exhausted its attempts: which input failed, how many times it
 /// was tried, and the payload of the *last* panic (re-raise it with
@@ -149,6 +175,45 @@ where
     O: Send,
     F: Fn(usize, usize, &I, u32) -> O + Sync,
 {
+    run_supervised_cancelable(
+        jobs,
+        inputs,
+        retries,
+        tracer,
+        parent,
+        &CancelToken::default(),
+        f,
+    )
+}
+
+/// [`run_supervised_traced`] with a cooperative [`CancelToken`].
+///
+/// Workers poll the token *before claiming* each input — the same cadence
+/// as the watchdog, one check per cell — so a fired token stops the grid
+/// within one cell boundary: in-flight cells finish normally (and
+/// checkpoint, when the caller checkpoints), unclaimed cells are left as
+/// empty slots with no failure recorded. The caller distinguishes "not
+/// run because canceled" from "quarantined" by re-checking the token.
+///
+/// Retries of a failed attempt back off exponentially ([`backoff_ms`]):
+/// a transient host hiccup (the usual cause of a watchdog trip) gets time
+/// to clear instead of an immediate identical attempt, and the
+/// `retry_backoff_ms` counter records the total sleep. A fired token also
+/// stops further retries of the current input.
+pub fn run_supervised_cancelable<I, O, F>(
+    jobs: usize,
+    inputs: &[I],
+    retries: u32,
+    tracer: &Tracer,
+    parent: SpanId,
+    cancel: &CancelToken,
+    f: F,
+) -> PoolOutcome<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(usize, usize, &I, u32) -> O + Sync,
+{
     assert!(jobs > 0, "run_supervised: jobs must be at least 1");
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<O>>> = inputs.iter().map(|_| Mutex::new(None)).collect();
@@ -167,6 +232,9 @@ where
                     tracer.set_thread_name(tid, &format!("worker-{w}"));
                 }
                 loop {
+                    if cancel.fired().is_some() {
+                        return;
+                    }
                     let wait_start = tracer.now_us();
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(input) = inputs.get(i) else { return };
@@ -201,15 +269,32 @@ where
                                     kind,
                                     vec![("index", i.into()), ("attempt", attempt.into())],
                                 );
-                                if attempt < retries {
-                                    tracer.instant(tid, "retry", vec![("index", i.into())]);
-                                    tracer.count(tid, "retries", 1);
-                                }
                                 last_payload = Some(payload);
+                                if cancel.fired().is_some() {
+                                    break;
+                                }
+                                if attempt < retries {
+                                    let ms = backoff_ms(i as u64, attempt);
+                                    tracer.instant(
+                                        tid,
+                                        "retry",
+                                        vec![("index", i.into()), ("backoff_ms", ms.into())],
+                                    );
+                                    tracer.count(tid, "retries", 1);
+                                    tracer.count(tid, "retry_backoff_ms", ms);
+                                    std::thread::sleep(Duration::from_millis(ms));
+                                }
                             }
                         }
                     }
                     if let Some(payload) = last_payload {
+                        if cancel.fired().is_some() {
+                            // Canceled between attempts: the input was not
+                            // quarantined, it simply wasn't finished —
+                            // leave the slot empty with no failure, like
+                            // an unclaimed cell.
+                            return;
+                        }
                         tracer.instant(tid, "quarantine", vec![("index", i.into())]);
                         tracer.count(tid, "quarantines", 1);
                         failures.lock().unwrap().push(JobFailure {
@@ -381,6 +466,93 @@ mod tests {
         let instants = tracer.instant_totals();
         assert_eq!(instants["watchdog"], 1);
         assert!(!instants.contains_key("shard-panic"));
+    }
+
+    #[test]
+    fn canceled_pool_stops_claiming_at_a_cell_boundary() {
+        use crate::cancel::CancelToken;
+        let token = CancelToken::new();
+        let inputs: Vec<u32> = (0..64).collect();
+        let started = AtomicUsize::new(0);
+        // One worker makes the claim order deterministic: cells 0..=3 run,
+        // the token fires inside cell 3, and the pre-claim check stops the
+        // sweep before cell 4.
+        let outcome = run_supervised_cancelable(
+            1,
+            &inputs,
+            0,
+            &Tracer::disabled(),
+            0,
+            &token,
+            |_w, _i, &x, _attempt| {
+                started.fetch_add(1, Ordering::Relaxed);
+                if x == 3 {
+                    token.cancel();
+                }
+                x
+            },
+        );
+        // The in-flight cell finishes (cancellation is a boundary, not an
+        // abort), nothing is quarantined, and the rest of the grid never
+        // runs.
+        assert!(outcome.failures.is_empty());
+        let done = outcome.slots.iter().flatten().count();
+        assert_eq!(done, 4);
+        assert_eq!(started.load(Ordering::Relaxed), 4);
+        assert_eq!(outcome.slots[3], Some(3), "the canceling cell completed");
+    }
+
+    #[test]
+    fn canceled_retries_are_not_quarantines() {
+        use crate::cancel::CancelToken;
+        let token = CancelToken::new();
+        let outcome: PoolOutcome<u32> = run_supervised_cancelable(
+            1,
+            &[0u32],
+            5,
+            &Tracer::disabled(),
+            0,
+            &token,
+            |_, _, _, _| {
+                token.cancel();
+                panic!("transient");
+            },
+        );
+        assert_eq!(outcome.slots, vec![None]);
+        assert!(
+            outcome.failures.is_empty(),
+            "a cell abandoned by cancel is unfinished, not quarantined"
+        );
+    }
+
+    #[test]
+    fn backoff_is_deterministic_bounded_and_grows() {
+        for i in 0..50u64 {
+            for attempt in 0..12u32 {
+                let ms = backoff_ms(i, attempt);
+                assert_eq!(ms, backoff_ms(i, attempt), "deterministic");
+                assert!(ms >= (BACKOFF_BASE_MS << attempt.min(16)).min(BACKOFF_CAP_MS));
+                assert!(ms <= BACKOFF_CAP_MS);
+            }
+        }
+        assert_ne!(
+            backoff_ms(1, 0),
+            backoff_ms(2, 0),
+            "jitter separates indices"
+        );
+    }
+
+    #[test]
+    fn retries_record_backoff_counters() {
+        let tracer = Tracer::enabled();
+        let outcome: PoolOutcome<u32> =
+            run_supervised_traced(1, &[0u32], 1, &tracer, 0, |_, _, _, _| panic!("always"));
+        assert_eq!(outcome.failures.len(), 1);
+        assert_eq!(
+            tracer.counter_value("retry_backoff_ms"),
+            backoff_ms(0, 0),
+            "one retry, one seeded backoff"
+        );
     }
 
     #[test]

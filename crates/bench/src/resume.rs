@@ -181,6 +181,7 @@ pub fn options_from_header(text: &str, resume: &ResumeOptions) -> Result<Options
         inject_panic: None,
         trace_out: resume.trace_out.clone(),
         progress_ms: resume.progress_ms,
+        cancel: resume.cancel.clone(),
     })
 }
 
@@ -242,6 +243,7 @@ mod tests {
             verbosity: Verbosity::Quiet,
             trace_out: None,
             progress_ms: None,
+            cancel: crate::cancel::CancelToken::default(),
         }
     }
 

@@ -32,9 +32,10 @@ use vax_trace::{worker_tid, Tracer, MAIN_TID};
 use vax_workload::Workload;
 
 use crate::cache::WarmCaches;
+use crate::cancel::CancelKind;
 use crate::cli::{Options, ResumeOptions};
 use crate::fsio::write_atomic;
-use crate::pool::{panic_message, run_supervised_traced};
+use crate::pool::{panic_message, run_supervised_cancelable};
 use crate::progress::Progress;
 use crate::resume::{cell_path, checkpoints_dir, header_json, header_path, load_cells};
 
@@ -62,6 +63,11 @@ pub struct RunOutput {
     pub degraded: bool,
     /// The quarantined `(workload, shard)` cells, in grid order.
     pub failed_cells: Vec<(Workload, u64)>,
+    /// Set when the run's cancel token fired: the grid stopped at a cell
+    /// boundary, completed cells are checkpointed, and the merged results
+    /// cover only what finished. The caller must not export final
+    /// artifacts for a canceled run.
+    pub canceled: Option<CancelKind>,
 }
 
 /// One cell of the run grid: workload `workload_index`, replica `shard`.
@@ -262,12 +268,13 @@ fn run_grid(
         })
         .collect();
 
-    let outcome = run_supervised_traced(
+    let outcome = run_supervised_cancelable(
         opts.jobs,
         &todo,
         opts.retries,
         tracer,
         run_span.id(),
+        &opts.cancel,
         |worker, _i, job: &ShardJob, attempt| {
             let tid = worker_tid(worker);
             let _cell = tracer.span(
@@ -372,6 +379,16 @@ fn run_grid(
         },
     );
 
+    let canceled = opts.cancel.fired();
+    if let Some(kind) = canceled {
+        tracer.instant(MAIN_TID, "cancel", vec![("kind", kind.name().into())]);
+        tracer.count(MAIN_TID, "jobs_canceled", 1);
+        progress.info(&format!(
+            "run {} at a cell boundary; completed cells remain checkpointed",
+            kind.name()
+        ));
+    }
+
     let mut failed_cells: Vec<(Workload, u64)> = Vec::new();
     for f in &outcome.failures {
         let job = &todo[f.index];
@@ -443,5 +460,6 @@ fn run_grid(
         conservation_err,
         degraded: !failed_cells.is_empty(),
         failed_cells,
+        canceled,
     }
 }

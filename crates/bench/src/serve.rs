@@ -22,37 +22,54 @@
 //! | `POST /jobs`                   | Submit a spec; `202` + job ID            |
 //! | `GET /jobs`                    | List jobs, oldest first                  |
 //! | `GET /jobs/:id`                | Status (+ live progress while running)   |
+//! | `POST /jobs/:id/cancel`        | Cancel a queued or running job           |
 //! | `GET /jobs/:id/artifacts`      | List the job's artifact files            |
 //! | `GET /jobs/:id/artifacts/NAME` | Download one artifact                    |
 //! | `GET /jobs/:id/events`         | ndjson status stream until terminal      |
+//! | `GET /healthz`                 | Liveness + state (always `200`)          |
+//! | `GET /readyz`                  | `200` when ready, `503` otherwise        |
 //! | `POST /shutdown`               | Drain (same as SIGTERM)                  |
+//!
+//! ## Durability and recovery
+//!
+//! Every submission and state transition is appended to
+//! `ROOT/journal.ndjson`, rewritten atomically on each append. A daemon
+//! restarted on the same `--root` replays the journal before accepting
+//! traffic: terminal jobs keep their status (and their downloadable
+//! artifacts), still-queued jobs are re-enqueued, and a job that was
+//! mid-run is re-enqueued first — a measurement run with an intact
+//! checkpoint header resumes from its per-cell journal
+//! (`reproduce resume` semantics, in-process), so the recovered
+//! artifacts are byte-identical to an uninterrupted run. On startup the
+//! replayed history is compacted to one folded record per job.
 //!
 //! ## Lifecycle and drain
 //!
 //! `SIGTERM`/`SIGINT` (or `POST /shutdown`) puts the daemon into drain:
 //! new submissions get `503`, the running job finishes cleanly, and the
-//! process exits 0. Jobs still queued at drain stay on disk — each job
-//! directory holds the canonical `spec.json`, so nothing is lost: a
-//! measurement run interrupted harder than that is recoverable via
-//! `reproduce resume` from its checkpoint journal (`docs/ROBUSTNESS.md`).
+//! process exits 0. Jobs still queued at drain stay journaled as queued
+//! and are recovered by the next daemon on the same root; a measurement
+//! run interrupted harder than that is recoverable via `reproduce
+//! resume` from its checkpoint journal (`docs/ROBUSTNESS.md`).
 //!
 //! Protocol plumbing (parsing, limits, serialization) lives in the
 //! dependency-free `vax_serve` crate; this module owns the registry, the
-//! worker, and the HTTP surface. See `docs/SERVICE.md`.
+//! journal, the worker, and the HTTP surface. See `docs/SERVICE.md`.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::io::{BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use vax_analysis::Json;
 use vax_serve::{write_streaming_head, HttpError, Request, Response};
-use vax_trace::Tracer;
+use vax_trace::{Tracer, MAIN_TID};
 
-use crate::cli::{Format, ServeOptions};
+use crate::cancel::{CancelKind, CancelToken};
+use crate::cli::{Format, ResumeOptions, ServeOptions};
 use crate::engine::{JobEngine, JobOutcome, JobRequest};
 use crate::fsio::write_atomic;
 use crate::heartbeat::progress_line;
@@ -69,6 +86,8 @@ const EVENTS_PERIOD: Duration = Duration::from_millis(200);
 const SOCKET_TIMEOUT: Duration = Duration::from_secs(10);
 /// Most unfinished (queued + running) jobs admitted at once.
 const MAX_PENDING_JOBS: usize = 64;
+/// File name of the durable job journal under the serve root.
+const JOURNAL_NAME: &str = "journal.ndjson";
 
 /// Where a job is in its life.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -79,6 +98,11 @@ enum JobState {
     Finished {
         code: i32,
     },
+    /// Terminal; stopped at a cell boundary by `POST /jobs/:id/cancel`
+    /// or an expired `deadline_secs`. Completed cells stay checkpointed.
+    Canceled {
+        kind: CancelKind,
+    },
 }
 
 impl JobState {
@@ -88,7 +112,12 @@ impl JobState {
             JobState::Running => "running",
             JobState::Finished { code: 0 } => "done",
             JobState::Finished { .. } => "failed",
+            JobState::Canceled { kind } => kind.name(),
         }
+    }
+
+    fn is_terminal(&self) -> bool {
+        matches!(self, JobState::Finished { .. } | JobState::Canceled { .. })
     }
 }
 
@@ -103,6 +132,184 @@ struct Job {
     /// finish for the final counter snapshot.
     tracer: Option<Tracer>,
     started: Option<Instant>,
+    /// The running job's cancel token; inert until the job starts.
+    cancel: CancelToken,
+    /// Restored from the journal in a non-terminal state by a restarted
+    /// daemon (counts toward the `recovering` health state).
+    recovered: bool,
+}
+
+/// The durable job journal: newline-delimited JSON under the serve root,
+/// rewritten atomically on every append so a crash never leaves a torn
+/// file. Kept small by startup compaction (one folded record per job).
+#[derive(Debug, Default)]
+struct Journal {
+    /// `None` journals to memory only (unit tests).
+    path: Option<PathBuf>,
+    lines: Vec<String>,
+}
+
+impl Journal {
+    fn at(path: PathBuf) -> Journal {
+        Journal {
+            path: Some(path),
+            lines: Vec::new(),
+        }
+    }
+
+    fn append(&mut self, record: &Json) {
+        self.lines.push(record.to_string_compact());
+        self.flush();
+    }
+
+    /// Rewrite the whole journal atomically. A write failure is warned
+    /// about, not fatal: the daemon keeps serving (degraded durability
+    /// beats refusing work).
+    fn flush(&self) {
+        let Some(path) = &self.path else { return };
+        let mut text = self.lines.join("\n");
+        if !text.is_empty() {
+            text.push('\n');
+        }
+        if let Err(e) = write_atomic(path, &text) {
+            eprintln!(
+                "reproduce serve: cannot write journal {}: {e}",
+                path.display()
+            );
+        }
+    }
+}
+
+/// A submission record: carries the canonical spec so a restart can
+/// rebuild the job without trusting anything else on disk.
+fn journal_submit(id: &str, spec: &JobSpec) -> Json {
+    Json::obj([
+        ("id", Json::from(id)),
+        ("state", "queued".into()),
+        ("spec", spec.encode()),
+    ])
+}
+
+/// A state-transition record (`code` only for `done`/`failed`).
+fn journal_state(id: &str, state: &str, code: Option<i32>) -> Json {
+    Json::obj([
+        ("id", Json::from(id)),
+        ("state", state.into()),
+        ("code", code.map_or(Json::Null, |c| i64::from(c).into())),
+    ])
+}
+
+/// The compacted form: one record carrying a job's spec and last state.
+fn folded_record(id: &str, spec: &JobSpec, state: &JobState) -> Json {
+    Json::obj([
+        ("id", Json::from(id)),
+        ("state", state.name().into()),
+        (
+            "code",
+            match state {
+                JobState::Finished { code } => i64::from(*code).into(),
+                _ => Json::Null,
+            },
+        ),
+        ("spec", spec.encode()),
+    ])
+}
+
+/// The sequence number a job ID encodes (`j-000042` → 42).
+fn id_seq(id: &str) -> u64 {
+    id.strip_prefix("j-")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+/// One job reconstructed from the journal.
+#[derive(Debug)]
+struct ReplayedJob {
+    id: String,
+    spec: JobSpec,
+    /// `Queued` for any job that was not terminal — a crashed `running`
+    /// job goes back to the queue (it re-runs or resumes).
+    state: JobState,
+    /// True when the job still needs to run to completion.
+    recovered: bool,
+}
+
+/// Fold the journal into per-job records, in ID (= submission) order.
+/// Corrupt lines and jobs with no recoverable spec are skipped with a
+/// warning — a damaged journal degrades, it does not brick the daemon.
+fn replay_journal(text: &str) -> (Vec<ReplayedJob>, Vec<String>) {
+    #[derive(Default)]
+    struct Folded {
+        spec: Option<JobSpec>,
+        state: String,
+        code: Option<i32>,
+    }
+    let mut warnings = Vec::new();
+    let mut folded: BTreeMap<String, Folded> = BTreeMap::new();
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record = match Json::parse(line) {
+            Ok(j) => j,
+            Err(e) => {
+                warnings.push(format!("journal: skipping corrupt line: {e}"));
+                continue;
+            }
+        };
+        let Some(id) = record.get("id").and_then(Json::as_str) else {
+            warnings.push("journal: skipping record without an 'id'".to_string());
+            continue;
+        };
+        let entry = folded.entry(id.to_string()).or_default();
+        if let Some(spec_json) = record.get("spec") {
+            match JobSpec::decode(&spec_json.to_string_compact()) {
+                Ok(spec) => entry.spec = Some(spec),
+                Err(e) => warnings.push(format!("journal: job {id}: unreadable spec: {e}")),
+            }
+        }
+        if let Some(state) = record.get("state").and_then(Json::as_str) {
+            entry.state = state.to_string();
+        }
+        if let Some(code) = record.get("code").and_then(Json::as_i64) {
+            entry.code = Some(code as i32);
+        }
+    }
+    let mut jobs = Vec::new();
+    for (id, f) in folded {
+        let Some(spec) = f.spec else {
+            warnings.push(format!("journal: job {id} has no spec record; dropping it"));
+            continue;
+        };
+        let (state, recovered) = match f.state.as_str() {
+            "queued" | "running" => (JobState::Queued, true),
+            "done" | "failed" => {
+                let fallback = i32::from(f.state == "failed");
+                (
+                    JobState::Finished {
+                        code: f.code.unwrap_or(fallback),
+                    },
+                    false,
+                )
+            }
+            other => match CancelKind::parse(other) {
+                Some(kind) => (JobState::Canceled { kind }, false),
+                None => {
+                    warnings.push(format!(
+                        "journal: job {id} has unknown state '{other}'; re-queueing it"
+                    ));
+                    (JobState::Queued, true)
+                }
+            },
+        };
+        jobs.push(ReplayedJob {
+            id,
+            spec,
+            state,
+            recovered,
+        });
+    }
+    (jobs, warnings)
 }
 
 /// Registry guarded by one mutex; the condvar wakes the worker.
@@ -113,6 +320,7 @@ struct Registry {
     /// are zero-padded sequence numbers, but the queue is authoritative).
     queue: VecDeque<String>,
     next_seq: u64,
+    journal: Journal,
 }
 
 /// Everything the connection handlers, worker, and accept loop share.
@@ -124,6 +332,34 @@ struct Shared {
     /// Set by SIGTERM/SIGINT or `POST /shutdown`: refuse new jobs,
     /// finish the current one, exit.
     draining: AtomicBool,
+    /// Journal-recovered jobs not yet terminal; `/readyz` reports
+    /// `recovering` (503) until this drains to zero.
+    recovering: AtomicUsize,
+    /// In-flight connections, for the `--max-connections` load-shed cap.
+    connections: AtomicUsize,
+}
+
+/// Lock the registry, recovering from a poisoned mutex: a handler
+/// thread that panicked mid-update must not wedge every future request,
+/// and registry updates are small enough that the state a panicking
+/// thread leaves behind is still coherent (worst case, a job stays in
+/// its previous state).
+fn lock_registry(shared: &Shared) -> MutexGuard<'_, Registry> {
+    shared
+        .registry
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// The daemon's coarse health: `draining` > `recovering` > `ready`.
+fn health_state(shared: &Shared) -> &'static str {
+    if shared.draining.load(Ordering::SeqCst) {
+        "draining"
+    } else if shared.recovering.load(Ordering::SeqCst) > 0 {
+        "recovering"
+    } else {
+        "ready"
+    }
 }
 
 #[cfg(unix)]
@@ -189,11 +425,76 @@ pub fn run_serve(opts: &ServeOptions) -> i32 {
         return 1;
     }
     sig::install();
+
+    // Replay the journal before accepting traffic: a restart on the
+    // same root picks up exactly where the previous daemon died.
+    let journal_path = opts.root.join(JOURNAL_NAME);
+    let journal_text = match std::fs::read_to_string(&journal_path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+        Err(e) => {
+            eprintln!(
+                "reproduce serve: cannot read journal {}: {e}",
+                journal_path.display()
+            );
+            String::new()
+        }
+    };
+    let (replayed, warnings) = replay_journal(&journal_text);
+    for w in &warnings {
+        progress.warn(w);
+    }
+    let mut registry = Registry {
+        journal: Journal::at(journal_path),
+        ..Registry::default()
+    };
+    let mut recovering = 0usize;
+    for rj in replayed {
+        registry.next_seq = registry.next_seq.max(id_seq(&rj.id));
+        if rj.recovered {
+            // ID order is submission order, so the job that was running
+            // when the daemon died lands at the front again.
+            registry.queue.push_back(rj.id.clone());
+            recovering += 1;
+        }
+        let dir = opts.root.join(&rj.id);
+        registry.jobs.insert(
+            rj.id.clone(),
+            Job {
+                id: rj.id,
+                spec: rj.spec,
+                dir,
+                state: rj.state,
+                tracer: None,
+                started: None,
+                cancel: CancelToken::default(),
+                recovered: rj.recovered,
+            },
+        );
+    }
+    if !registry.jobs.is_empty() || !journal_text.is_empty() {
+        // Startup compaction: the replayed history collapses to one
+        // folded record per job.
+        registry.journal.lines = registry
+            .jobs
+            .values()
+            .map(|j| folded_record(&j.id, &j.spec, &j.state).to_string_compact())
+            .collect();
+        registry.journal.flush();
+        progress.info(&format!(
+            "journal replay: {} job(s), {} to finish",
+            registry.jobs.len(),
+            recovering
+        ));
+    }
+
     let shared = Arc::new(Shared {
         opts: opts.clone(),
-        registry: Mutex::new(Registry::default()),
+        registry: Mutex::new(registry),
         wake: Condvar::new(),
         draining: AtomicBool::new(false),
+        recovering: AtomicUsize::new(recovering),
+        connections: AtomicUsize::new(0),
     });
     // local_addr never fails on a bound listener, but don't panic a
     // daemon over a log line.
@@ -210,20 +511,36 @@ pub fn run_serve(opts: &ServeOptions) -> i32 {
         std::thread::spawn(move || worker_loop(&shared))
     };
 
+    // The accept loop outlives the drain signal: status, artifact, and
+    // events requests keep working while the running job finishes. It
+    // ends when the worker does.
     let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
     loop {
         if sig::pending() {
             shared.draining.store(true, Ordering::SeqCst);
+            shared.wake.notify_all();
         }
-        if shared.draining.load(Ordering::SeqCst) {
+        if worker.is_finished() {
             break;
         }
         match listener.accept() {
             Ok((stream, _peer)) => {
-                let shared = Arc::clone(&shared);
-                handlers.push(std::thread::spawn(move || {
-                    handle_connection(stream, &shared)
-                }));
+                let active = shared.connections.fetch_add(1, Ordering::SeqCst) + 1;
+                if active > shared.opts.max_connections {
+                    // Load-shed inline: one small write, then close.
+                    shared.connections.fetch_sub(1, Ordering::SeqCst);
+                    let mut stream = stream;
+                    let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+                    let _ = error_response(503, "connection limit reached; retry shortly")
+                        .with_header("Retry-After", "1")
+                        .write(&mut stream);
+                } else {
+                    let shared = Arc::clone(&shared);
+                    handlers.push(std::thread::spawn(move || {
+                        handle_connection(stream, &shared);
+                        shared.connections.fetch_sub(1, Ordering::SeqCst);
+                    }));
+                }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(POLL);
@@ -237,7 +554,6 @@ pub fn run_serve(opts: &ServeOptions) -> i32 {
     }
 
     progress.info("draining: finishing the running job");
-    shared.wake.notify_all();
     let _ = worker.join();
     for h in handlers {
         let _ = h.join();
@@ -252,15 +568,21 @@ fn worker_loop(shared: &Shared) {
     let engine = JobEngine::new();
     loop {
         let next = {
-            let mut reg = shared.registry.lock().unwrap();
+            let mut reg = lock_registry(shared);
             loop {
-                if let Some(id) = reg.queue.pop_front() {
-                    break Some(id);
-                }
+                // Check drain BEFORE claiming: a job left queued at
+                // drain stays journaled as queued, so the next daemon on
+                // this root recovers it.
                 if shared.draining.load(Ordering::SeqCst) {
                     break None;
                 }
-                let (guard, _timeout) = shared.wake.wait_timeout(reg, POLL).unwrap();
+                if let Some(id) = reg.queue.pop_front() {
+                    break Some(id);
+                }
+                let (guard, _timeout) = shared
+                    .wake
+                    .wait_timeout(reg, POLL)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
                 reg = guard;
             }
         };
@@ -269,20 +591,69 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-/// Run one job start to finish, updating the registry around it.
+/// Run one job start to finish, updating the registry and journal
+/// around it. Recovered jobs resume from their checkpoints when the
+/// checkpoint header survived; cancellation and deadlines land at the
+/// next cell boundary via the job's [`CancelToken`].
 fn execute_job(shared: &Shared, engine: &JobEngine, id: &str) {
     let tracer = Tracer::enabled();
-    let (spec, dir) = {
-        let mut reg = shared.registry.lock().unwrap();
+    let cancel = CancelToken::new();
+    let recover_start = tracer.now_us();
+    let (spec, dir, recovered) = {
+        let mut reg = lock_registry(shared);
         let Some(job) = reg.jobs.get_mut(id) else {
             return;
         };
+        if job.state != JobState::Queued {
+            // Canceled between enqueue and claim; nothing to run.
+            return;
+        }
         job.state = JobState::Running;
         job.tracer = Some(tracer.clone());
         job.started = Some(Instant::now());
-        (job.spec.clone(), job.dir.clone())
+        job.cancel = cancel.clone();
+        let picked = (job.spec.clone(), job.dir.clone(), job.recovered);
+        let record = journal_state(id, "running", None);
+        reg.journal.append(&record);
+        picked
     };
-    let outcome = match build_request(&spec, &dir, &shared.opts) {
+    if let Some(secs) = spec.deadline_secs() {
+        cancel.arm_deadline(Duration::from_secs_f64(secs));
+    }
+    // A recovered measurement run with an intact checkpoint header picks
+    // up from its per-cell journal instead of starting over.
+    let resumed =
+        recovered && matches!(spec, JobSpec::Run(_)) && crate::resume::header_path(&dir).exists();
+    if recovered {
+        // Recorded before execution so it lands in this job's trace and
+        // runtime.json: the span covers the recovery decision.
+        tracer.complete(
+            MAIN_TID,
+            "recover",
+            recover_start,
+            vec![("resumed", u64::from(resumed).into())],
+        );
+        tracer.count(MAIN_TID, "jobs_recovered", 1);
+        if resumed {
+            tracer.count(MAIN_TID, "jobs_resumed", 1);
+        }
+    }
+    let request = if resumed {
+        Ok(JobRequest::Resume(ResumeOptions {
+            dir: dir.clone(),
+            jobs: shared.opts.jobs,
+            retries: shared.opts.retries,
+            shard_timeout_secs: None,
+            strict: false,
+            verbosity: Verbosity::Quiet,
+            trace_out: None,
+            progress_ms: None,
+            cancel: cancel.clone(),
+        }))
+    } else {
+        build_request(&spec, &dir, &shared.opts, &cancel)
+    };
+    let outcome = match request {
         Ok(req) => engine.execute_traced(&req, &tracer),
         Err(msg) => {
             eprintln!("reproduce serve: job {id}: {msg}");
@@ -291,6 +662,10 @@ fn execute_job(shared: &Shared, engine: &JobEngine, id: &str) {
                 stdout: String::new(),
             }
         }
+    };
+    let terminal = match cancel.fired() {
+        Some(kind) => JobState::Canceled { kind },
+        None => JobState::Finished { code: outcome.code },
     };
     // Persist what the CLI would have printed, so it is a downloadable
     // artifact and part of the byte-identity contract.
@@ -302,39 +677,68 @@ fn execute_job(shared: &Shared, engine: &JobEngine, id: &str) {
     let status = Json::obj([
         ("id", Json::from(id)),
         ("kind", spec.kind().into()),
-        ("code", i64::from(outcome.code).into()),
+        ("status", terminal.name().into()),
+        (
+            "code",
+            match &terminal {
+                JobState::Finished { code } => i64::from(*code).into(),
+                _ => Json::Null,
+            },
+        ),
     ]);
     if let Err(e) = write_atomic(&dir.join("status.json"), &status.to_string_pretty()) {
         eprintln!("reproduce serve: job {id}: cannot write status.json: {e}");
     }
-    let mut reg = shared.registry.lock().unwrap();
-    if let Some(job) = reg.jobs.get_mut(id) {
-        job.state = JobState::Finished { code: outcome.code };
+    {
+        let mut reg = lock_registry(shared);
+        let record = journal_state(
+            id,
+            terminal.name(),
+            match &terminal {
+                JobState::Finished { code } => Some(*code),
+                _ => None,
+            },
+        );
+        if let Some(job) = reg.jobs.get_mut(id) {
+            job.state = terminal;
+        }
+        reg.journal.append(&record);
+    }
+    if recovered {
+        shared.recovering.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
 /// Materialize the engine request for a spec: the daemon's runtime knobs
-/// (artifact dir, JSON format, quiet narration, default parallelism) on
-/// top of the spec's experiment definition.
-fn build_request(spec: &JobSpec, dir: &Path, opts: &ServeOptions) -> Result<JobRequest, String> {
+/// (artifact dir, JSON format, quiet narration, default parallelism,
+/// cancel token) on top of the spec's experiment definition.
+fn build_request(
+    spec: &JobSpec,
+    dir: &Path,
+    opts: &ServeOptions,
+    cancel: &CancelToken,
+) -> Result<JobRequest, String> {
     match spec {
         JobSpec::Run(_) => {
             let mut run = spec.to_run_options(opts.jobs, opts.retries);
             run.format = Format::Json;
             run.out = Some(dir.to_path_buf());
             run.verbosity = Verbosity::Quiet;
+            run.cancel = cancel.clone();
             Ok(JobRequest::Run(run))
         }
         JobSpec::Characterize(_) => {
             let mut ch = spec.to_characterize_options(opts.jobs, opts.retries);
             ch.out = Some(dir.to_path_buf());
             ch.verbosity = Verbosity::Quiet;
+            ch.cancel = cancel.clone();
             Ok(JobRequest::Characterize(ch))
         }
         JobSpec::Refute(r) => {
             let mut ch = spec.to_characterize_options(opts.jobs, opts.retries);
             ch.out = Some(dir.to_path_buf());
             ch.verbosity = Verbosity::Quiet;
+            ch.cancel = cancel.clone();
             ch.fixtures = Some(dir.join("fixtures"));
             if let Some(model) = &r.model {
                 let path = dir.join("model.json");
@@ -378,6 +782,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
         ("POST", ["jobs"]) => submit_job(&req, shared),
         ("GET", ["jobs"]) => list_jobs(shared),
         ("GET", ["jobs", id]) => job_status(shared, id),
+        ("POST", ["jobs", id, "cancel"]) => cancel_job(shared, id),
         ("GET", ["jobs", id, "artifacts"]) => list_artifacts(shared, id),
         ("GET", ["jobs", id, "artifacts", name]) => get_artifact(shared, id, name),
         ("GET", ["jobs", id, "events"]) => {
@@ -385,12 +790,24 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             stream_events(&mut stream, shared, id);
             return;
         }
+        ("GET", ["healthz"]) => {
+            let body = Json::obj([("state", Json::from(health_state(shared)))]);
+            Response::json(200, &body.to_string_compact())
+        }
+        ("GET", ["readyz"]) => {
+            let state = health_state(shared);
+            let body = Json::obj([("state", Json::from(state))]).to_string_compact();
+            let status = if state == "ready" { 200 } else { 503 };
+            Response::json(status, &body)
+        }
         ("POST", ["shutdown"]) => {
             shared.draining.store(true, Ordering::SeqCst);
             shared.wake.notify_all();
             Response::json(202, "{\"draining\": true}")
         }
-        (_, ["jobs", ..] | ["shutdown"]) => error_response(405, "method not allowed"),
+        (_, ["jobs", ..] | ["shutdown"] | ["healthz"] | ["readyz"]) => {
+            error_response(405, "method not allowed")
+        }
         _ => error_response(404, "no such resource"),
     };
     let _ = response.write(&mut stream);
@@ -402,7 +819,7 @@ fn error_response(status: u16, msg: &str) -> Response {
     Response::json(status, &body.to_string_compact())
 }
 
-/// `POST /jobs`: validate the spec, persist it, enqueue.
+/// `POST /jobs`: validate the spec, journal it, persist it, enqueue.
 fn submit_job(req: &Request, shared: &Shared) -> Response {
     if shared.draining.load(Ordering::SeqCst) {
         return error_response(503, "draining: not accepting new jobs");
@@ -418,12 +835,8 @@ fn submit_job(req: &Request, shared: &Shared) -> Response {
         Err(msg) => return error_response(400, &msg),
     };
     let (id, dir) = {
-        let mut reg = shared.registry.lock().unwrap();
-        let pending = reg
-            .jobs
-            .values()
-            .filter(|j| !matches!(j.state, JobState::Finished { .. }))
-            .count();
+        let mut reg = lock_registry(shared);
+        let pending = reg.jobs.values().filter(|j| !j.state.is_terminal()).count();
         if pending >= MAX_PENDING_JOBS {
             return error_response(503, "job queue is full");
         }
@@ -439,9 +852,12 @@ fn submit_job(req: &Request, shared: &Shared) -> Response {
                 state: JobState::Queued,
                 tracer: None,
                 started: None,
+                cancel: CancelToken::default(),
+                recovered: false,
             },
         );
-        reg.queue.push_back(id.clone());
+        let record = journal_submit(&id, &spec);
+        reg.journal.append(&record);
         (id, dir)
     };
     // The canonical spec (defaults materialized) is the job's first
@@ -454,10 +870,20 @@ fn submit_job(req: &Request, shared: &Shared) -> Response {
                 .map_err(|e| e.to_string())
         });
     if let Err(e) = persisted {
-        let mut reg = shared.registry.lock().unwrap();
-        reg.jobs.remove(&id);
-        reg.queue.retain(|q| q != &id);
+        // The job was journaled, so mark it failed rather than erasing
+        // it: the live registry and a replayed registry must agree.
+        let mut reg = lock_registry(shared);
+        if let Some(job) = reg.jobs.get_mut(&id) {
+            job.state = JobState::Finished { code: 1 };
+        }
+        let record = journal_state(&id, "failed", Some(1));
+        reg.journal.append(&record);
         return error_response(500, &format!("cannot persist job: {e}"));
+    }
+    {
+        // Claimable only once its spec is durable on disk.
+        let mut reg = lock_registry(shared);
+        reg.queue.push_back(id.clone());
     }
     shared.wake.notify_all();
     let body = Json::obj([
@@ -466,6 +892,63 @@ fn submit_job(req: &Request, shared: &Shared) -> Response {
         ("status", "queued".into()),
     ]);
     Response::json(202, &body.to_string_compact()).with_header("Location", &format!("/jobs/{id}"))
+}
+
+/// `POST /jobs/:id/cancel`: a queued job goes terminal on the spot; a
+/// running job gets its token fired and goes terminal at the next cell
+/// boundary (checkpoints of completed cells are preserved).
+fn cancel_job(shared: &Shared, id: &str) -> Response {
+    let mut reg = lock_registry(shared);
+    let state = match reg.jobs.get(id) {
+        None => return error_response(404, &format!("no job '{id}'")),
+        Some(job) => job.state.clone(),
+    };
+    match state {
+        JobState::Queued => {
+            let (dir, kind, was_recovered) = {
+                let Some(job) = reg.jobs.get_mut(id) else {
+                    return error_response(404, &format!("no job '{id}'"));
+                };
+                job.state = JobState::Canceled {
+                    kind: CancelKind::Canceled,
+                };
+                (job.dir.clone(), job.spec.kind(), job.recovered)
+            };
+            reg.queue.retain(|q| q != id);
+            let record = journal_state(id, "canceled", None);
+            reg.journal.append(&record);
+            drop(reg);
+            if was_recovered {
+                shared.recovering.fetch_sub(1, Ordering::SeqCst);
+            }
+            let status = Json::obj([
+                ("id", Json::from(id)),
+                ("kind", kind.into()),
+                ("status", "canceled".into()),
+                ("code", Json::Null),
+            ]);
+            // Best-effort status artifact; the dir may not exist if the
+            // job's spec never persisted.
+            if dir.is_dir() {
+                if let Err(e) = write_atomic(&dir.join("status.json"), &status.to_string_pretty()) {
+                    eprintln!("reproduce serve: job {id}: cannot write status.json: {e}");
+                }
+            }
+            Response::json(200, &status.to_string_compact())
+        }
+        JobState::Running => {
+            if let Some(job) = reg.jobs.get(id) {
+                job.cancel.cancel();
+            }
+            drop(reg);
+            let body = Json::obj([("id", Json::from(id)), ("status", "canceling".into())]);
+            Response::json(202, &body.to_string_compact())
+        }
+        terminal => error_response(
+            409,
+            &format!("job '{id}' is {}; nothing to cancel", terminal.name()),
+        ),
+    }
 }
 
 /// One job's status object (registry must be locked by the caller).
@@ -493,37 +976,36 @@ fn status_json(job: &Job) -> Json {
 
 /// `GET /jobs`: every job, submission order.
 fn list_jobs(shared: &Shared) -> Response {
-    let reg = shared.registry.lock().unwrap();
+    let reg = lock_registry(shared);
     let jobs = Json::arr(reg.jobs.values().map(status_json));
     Response::json(200, &Json::obj([("jobs", jobs)]).to_string_pretty())
 }
 
 /// `GET /jobs/:id`.
 fn job_status(shared: &Shared, id: &str) -> Response {
-    let reg = shared.registry.lock().unwrap();
+    let reg = lock_registry(shared);
     match reg.jobs.get(id) {
         Some(job) => Response::json(200, &status_json(job).to_string_pretty()),
         None => error_response(404, &format!("no job '{id}'")),
     }
 }
 
-/// Look up a *finished* job's directory; the common gate for the
+/// Look up a *terminal* job's directory; the common gate for the
 /// artifact endpoints (serving a half-written directory would hand out
-/// torn reads).
+/// torn reads). Canceled jobs count: whatever they checkpointed is
+/// stable and downloadable.
 fn finished_job_dir(shared: &Shared, id: &str) -> Result<PathBuf, Response> {
-    let reg = shared.registry.lock().unwrap();
+    let reg = lock_registry(shared);
     match reg.jobs.get(id) {
         None => Err(error_response(404, &format!("no job '{id}'"))),
-        Some(job) => match job.state {
-            JobState::Finished { .. } => Ok(job.dir.clone()),
-            _ => Err(error_response(
-                409,
-                &format!(
-                    "job '{id}' is {}; artifacts appear when it finishes",
-                    job.state.name()
-                ),
-            )),
-        },
+        Some(job) if job.state.is_terminal() => Ok(job.dir.clone()),
+        Some(job) => Err(error_response(
+            409,
+            &format!(
+                "job '{id}' is {}; artifacts appear when it finishes",
+                job.state.name()
+            ),
+        )),
     }
 }
 
@@ -592,7 +1074,7 @@ fn get_artifact(shared: &Shared, id: &str, name: &str) -> Response {
 /// to the worker: it reads the same registry the status endpoint does.
 fn stream_events(stream: &mut TcpStream, shared: &Shared, id: &str) {
     {
-        let reg = shared.registry.lock().unwrap();
+        let reg = lock_registry(shared);
         if !reg.jobs.contains_key(id) {
             let _ = error_response(404, &format!("no job '{id}'")).write(stream);
             return;
@@ -603,12 +1085,12 @@ fn stream_events(stream: &mut TcpStream, shared: &Shared, id: &str) {
     }
     loop {
         let (line, terminal) = {
-            let reg = shared.registry.lock().unwrap();
+            let reg = lock_registry(shared);
             match reg.jobs.get(id) {
                 None => return,
                 Some(job) => (
                     status_json(job).to_string_compact(),
-                    matches!(job.state, JobState::Finished { .. }),
+                    job.state.is_terminal(),
                 ),
             }
         };
@@ -625,11 +1107,177 @@ fn stream_events(stream: &mut TcpStream, shared: &Shared, id: &str) {
         // A drained daemon never starts its remaining queued jobs; end
         // those streams instead of pinning the drain on a live client.
         if shared.draining.load(Ordering::SeqCst) {
-            let reg = shared.registry.lock().unwrap();
+            let reg = lock_registry(shared);
             if reg.jobs.get(id).is_none_or(|j| j.state == JobState::Queued) {
                 return;
             }
         }
         std::thread::sleep(EVENTS_PERIOD);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RUN_SPEC: &str = r#"{"kind": "run", "instructions": 2000, "seed": 42, "shards": 1}"#;
+
+    fn run_spec() -> JobSpec {
+        JobSpec::decode(RUN_SPEC).unwrap()
+    }
+
+    fn bare_shared() -> Arc<Shared> {
+        Arc::new(Shared {
+            opts: ServeOptions::default(),
+            registry: Mutex::new(Registry::default()),
+            wake: Condvar::new(),
+            draining: AtomicBool::new(false),
+            recovering: AtomicUsize::new(0),
+            connections: AtomicUsize::new(0),
+        })
+    }
+
+    #[test]
+    fn poisoned_registry_lock_recovers() {
+        let shared = bare_shared();
+        let poisoner = Arc::clone(&shared);
+        let _ = std::thread::spawn(move || {
+            let mut reg = poisoner.registry.lock().unwrap();
+            reg.next_seq = 7;
+            panic!("poison the registry mutex");
+        })
+        .join();
+        assert!(shared.registry.is_poisoned());
+        // Every endpoint goes through lock_registry, which must keep
+        // serving the coherent pre-panic state.
+        let reg = lock_registry(&shared);
+        assert_eq!(reg.next_seq, 7);
+        drop(reg);
+        let mut reg = lock_registry(&shared);
+        reg.next_seq = 8;
+        drop(reg);
+        assert_eq!(lock_registry(&shared).next_seq, 8);
+    }
+
+    #[test]
+    fn replay_recovers_nonterminal_and_keeps_terminal_states() {
+        let spec = run_spec();
+        let text = [
+            journal_submit("j-000001", &spec).to_string_compact(),
+            journal_state("j-000001", "running", None).to_string_compact(),
+            journal_state("j-000001", "done", Some(0)).to_string_compact(),
+            journal_submit("j-000002", &spec).to_string_compact(),
+            journal_state("j-000002", "running", None).to_string_compact(),
+            journal_submit("j-000003", &spec).to_string_compact(),
+        ]
+        .join("\n");
+        let (jobs, warnings) = replay_journal(&text);
+        assert!(warnings.is_empty(), "{warnings:?}");
+        assert_eq!(jobs.len(), 3);
+        assert_eq!(jobs[0].id, "j-000001");
+        assert_eq!(jobs[0].state, JobState::Finished { code: 0 });
+        assert!(!jobs[0].recovered);
+        // The mid-run job and the still-queued job both come back
+        // queued, flagged for recovery.
+        for job in &jobs[1..] {
+            assert_eq!(job.state, JobState::Queued);
+            assert!(job.recovered);
+        }
+        assert_eq!(id_seq(&jobs[2].id), 3);
+    }
+
+    #[test]
+    fn replay_restores_cancel_states() {
+        let spec = run_spec();
+        let text = [
+            journal_submit("j-000001", &spec).to_string_compact(),
+            journal_state("j-000001", "canceled", None).to_string_compact(),
+            journal_submit("j-000002", &spec).to_string_compact(),
+            journal_state("j-000002", "deadline_exceeded", None).to_string_compact(),
+        ]
+        .join("\n");
+        let (jobs, warnings) = replay_journal(&text);
+        assert!(warnings.is_empty(), "{warnings:?}");
+        assert_eq!(
+            jobs[0].state,
+            JobState::Canceled {
+                kind: CancelKind::Canceled
+            }
+        );
+        assert_eq!(
+            jobs[1].state,
+            JobState::Canceled {
+                kind: CancelKind::DeadlineExceeded
+            }
+        );
+        assert!(jobs.iter().all(|j| !j.recovered));
+        assert_eq!(jobs[0].state.name(), "canceled");
+        assert_eq!(jobs[1].state.name(), "deadline_exceeded");
+    }
+
+    #[test]
+    fn replay_skips_damage_without_dropping_good_records() {
+        let spec = run_spec();
+        let text = format!(
+            "not json at all\n{}\n{{\"state\": \"running\"}}\n{}\n",
+            journal_submit("j-000005", &spec).to_string_compact(),
+            journal_state("j-000009", "running", None).to_string_compact(),
+        );
+        let (jobs, warnings) = replay_journal(&text);
+        // j-000005 survives; the corrupt line, the id-less record, and
+        // the spec-less j-000009 are each warned about.
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].id, "j-000005");
+        assert!(jobs[0].recovered);
+        assert_eq!(warnings.len(), 3, "{warnings:?}");
+    }
+
+    #[test]
+    fn folded_records_compact_to_one_line_per_job() {
+        let spec = run_spec();
+        let long = [
+            journal_submit("j-000001", &spec).to_string_compact(),
+            journal_state("j-000001", "running", None).to_string_compact(),
+            journal_state("j-000001", "failed", Some(3)).to_string_compact(),
+            journal_submit("j-000002", &spec).to_string_compact(),
+        ]
+        .join("\n");
+        let (jobs, _) = replay_journal(&long);
+        let compacted: Vec<String> = jobs
+            .iter()
+            .map(|j| folded_record(&j.id, &j.spec, &j.state).to_string_compact())
+            .collect();
+        assert_eq!(compacted.len(), 2);
+        // Compaction is a fixpoint: replaying the folded records gives
+        // the same states back.
+        let (again, warnings) = replay_journal(&compacted.join("\n"));
+        assert!(warnings.is_empty(), "{warnings:?}");
+        assert_eq!(again.len(), 2);
+        assert_eq!(again[0].state, JobState::Finished { code: 3 });
+        assert_eq!(again[1].state, JobState::Queued);
+        assert!(again[1].recovered);
+    }
+
+    #[test]
+    fn journal_appends_are_atomic_and_cumulative() {
+        let dir = std::env::temp_dir().join(format!("vax-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(JOURNAL_NAME);
+        let mut journal = Journal::at(path.clone());
+        journal.append(&journal_submit("j-000001", &run_spec()));
+        journal.append(&journal_state("j-000001", "running", None));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        let (jobs, warnings) = replay_journal(&text);
+        assert!(warnings.is_empty());
+        assert_eq!(jobs.len(), 1);
+        assert!(jobs[0].recovered);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn id_seq_reads_the_numeric_suffix() {
+        assert_eq!(id_seq("j-000042"), 42);
+        assert_eq!(id_seq("garbage"), 0);
     }
 }

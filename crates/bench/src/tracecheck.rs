@@ -44,6 +44,8 @@ pub const KNOWN_PHASES: &[&str] = &[
     "attribute",
     "refute",
     "minimize",
+    // Serve-daemon restart recovery (`docs/SERVICE.md`).
+    "recover",
 ];
 
 /// Chrome Trace Event phase codes the harness may emit (plus `X` and `I`,

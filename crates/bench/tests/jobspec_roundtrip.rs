@@ -49,6 +49,13 @@ fn random_run(rng: &mut Rng) -> RunSpec {
         } else {
             None
         },
+        // Quarter-second deadlines have exact binary representations, so
+        // the codec is not being tested on float formatting.
+        deadline_secs: if rng.chance(4) {
+            Some((1 + rng.below(40)) as f64 * 0.25)
+        } else {
+            None
+        },
         instructions: 1 + rng.below(10_000_000),
         // The JSON integer domain is i64; specs cannot carry seeds above
         // i64::MAX (the CLI can, but such seeds don't serve any purpose).
@@ -81,6 +88,11 @@ fn random_probe(rng: &mut Rng) -> ProbeSpec {
         },
         retries: if rng.chance(2) {
             Some(rng.below(3))
+        } else {
+            None
+        },
+        deadline_secs: if rng.chance(4) {
+            Some((1 + rng.below(40)) as f64 * 0.25)
         } else {
             None
         },

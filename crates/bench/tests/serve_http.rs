@@ -37,6 +37,10 @@ impl Drop for Daemon {
 /// Start the daemon on an OS-assigned port and learn it from the
 /// startup line on stderr.
 fn start_daemon(root: &Path) -> Daemon {
+    start_daemon_with(root, &[])
+}
+
+fn start_daemon_with(root: &Path, extra: &[&str]) -> Daemon {
     let mut child = reproduce()
         .args([
             "serve",
@@ -45,6 +49,7 @@ fn start_daemon(root: &Path) -> Daemon {
             "--root",
             root.to_str().unwrap(),
         ])
+        .args(extra)
         .stdout(Stdio::null())
         .stderr(Stdio::piped())
         .spawn()
@@ -265,6 +270,96 @@ fn serve_lifecycle_hostile_inputs_and_warm_caches() {
     // New connections are refused once drained.
     assert!(TcpStream::connect(&addr).is_err(), "socket must be closed");
 
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn health_endpoints_report_ready_and_drain() {
+    let root = scratch("health");
+    let mut daemon = start_daemon(&root);
+    let addr = daemon.addr.clone();
+
+    let (status, body) = http_text(&addr, "GET", "/healthz", None);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"ready\""), "{body}");
+    let (status, body) = http_text(&addr, "GET", "/readyz", None);
+    assert_eq!(status, 200, "{body}");
+    let (status, _) = http_text(&addr, "DELETE", "/healthz", None);
+    assert_eq!(status, 405);
+
+    // After the drain signal, /healthz stays 200 (liveness) but reports
+    // draining, and /readyz flips to 503 — while the daemon still
+    // answers requests.
+    let (status, _) = http_text(&addr, "POST", "/shutdown", None);
+    assert_eq!(status, 202);
+    // The daemon exits once the (idle) worker drains; health answers
+    // race that exit, so tolerate a refused connection.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let Ok(mut stream) = TcpStream::connect(&addr) else {
+            break;
+        };
+        let _ = stream.write_all(b"GET /readyz HTTP/1.1\r\nHost: t\r\n\r\n");
+        let mut raw = Vec::new();
+        let _ = stream.read_to_end(&mut raw);
+        let text = String::from_utf8_lossy(&raw);
+        if !raw.is_empty() {
+            assert!(text.contains("503"), "draining readyz must be 503: {text}");
+            assert!(text.contains("\"draining\""), "{text}");
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "daemon neither answered nor exited"
+        );
+    }
+    let exit = daemon.child.wait().expect("wait for daemon");
+    assert!(exit.success());
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn connection_cap_sheds_load_with_retry_after() {
+    let root = scratch("conncap");
+    let mut daemon = start_daemon_with(&root, &["--max-connections", "2"]);
+    let addr = daemon.addr.clone();
+
+    // Two idle connections pin both slots (their handlers sit in the
+    // request read until we close them).
+    let idle_a = TcpStream::connect(&addr).expect("first idle connection");
+    let idle_b = TcpStream::connect(&addr).expect("second idle connection");
+    std::thread::sleep(Duration::from_millis(300));
+
+    // The third connection is shed inline: 503 plus Retry-After.
+    let mut over = TcpStream::connect(&addr).expect("over-cap connection");
+    over.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut raw = Vec::new();
+    over.read_to_end(&mut raw).expect("read shed response");
+    let text = String::from_utf8_lossy(&raw);
+    assert!(text.starts_with("HTTP/1.1 503"), "{text}");
+    assert!(text.contains("Retry-After: 1"), "{text}");
+    drop(over);
+
+    // Freeing the slots restores service.
+    drop(idle_a);
+    drop(idle_b);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (status, body) = http_text(&addr, "GET", "/jobs", None);
+        if status == 200 {
+            assert!(body.contains("\"jobs\""), "{body}");
+            break;
+        }
+        assert_eq!(status, 503, "unexpected status {status}: {body}");
+        assert!(Instant::now() < deadline, "cap never released");
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    let (status, _) = http_text(&addr, "POST", "/shutdown", None);
+    assert_eq!(status, 202);
+    let exit = daemon.child.wait().expect("wait for daemon");
+    assert!(exit.success());
     let _ = std::fs::remove_dir_all(&root);
 }
 
