@@ -85,14 +85,16 @@ impl CancelToken {
     }
 
     /// Arm a deadline `budget` from now. Re-arming replaces the previous
-    /// deadline; no-op on an inert token.
+    /// deadline; no-op on an inert token. A budget so large the deadline
+    /// is unrepresentable (`Instant` overflow) can never elapse, so it is
+    /// treated as no deadline rather than a panic.
     pub fn arm_deadline(&self, budget: Duration) {
         if let Some(inner) = &self.0 {
             let mut deadline = inner
                 .deadline
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
-            *deadline = Some(Instant::now() + budget);
+            *deadline = Instant::now().checked_add(budget);
         }
     }
 
@@ -162,6 +164,16 @@ mod tests {
         t.arm_deadline(Duration::from_millis(0));
         assert_eq!(t.fired(), Some(CancelKind::DeadlineExceeded));
         assert_eq!(t.fired(), Some(CancelKind::DeadlineExceeded), "latched");
+    }
+
+    #[test]
+    fn unrepresentable_deadline_never_fires_or_panics() {
+        let t = CancelToken::new();
+        t.arm_deadline(Duration::MAX);
+        assert_eq!(t.fired(), None, "overflowed deadline means no deadline");
+        // An explicit cancel still works afterwards.
+        t.cancel();
+        assert_eq!(t.fired(), Some(CancelKind::Canceled));
     }
 
     #[test]

@@ -24,6 +24,7 @@ use vax_analysis::{tables, Profile, RunManifest};
 use vax_trace::{Tracer, MAIN_TID};
 
 use crate::cache::WarmCaches;
+use crate::cancel::CancelKind;
 use crate::charrun;
 use crate::cli::{CharacterizeOptions, Format, Options, ResumeOptions};
 use crate::fsio::write_atomic;
@@ -80,6 +81,12 @@ pub struct JobOutcome {
     /// Everything the job would have printed to stdout (tables, reports,
     /// stdout-mode JSON). Narration still goes to stderr as it happens.
     pub stdout: String,
+    /// Set when the job's cancel token ended it early — the exact cause
+    /// the engine acted on when it withheld final artifacts. Frontends
+    /// must derive the terminal status from this latched value, not by
+    /// re-polling the token: a deadline that elapses *after* the run
+    /// completed and exported would otherwise mislabel a finished job.
+    pub canceled: Option<CancelKind>,
 }
 
 /// Long-lived executor for [`JobRequest`]s (see module docs).
@@ -169,7 +176,14 @@ impl JobEngine {
         let mut stdout = String::new();
         if opts.experiment == "fig1" {
             stdout.push_str(&fig1());
-            return (JobOutcome { code: 0, stdout }, None);
+            return (
+                JobOutcome {
+                    code: 0,
+                    stdout,
+                    canceled: None,
+                },
+                None,
+            );
         }
 
         // Meter only the simulation itself, not rendering or artifact I/O.
@@ -182,7 +196,14 @@ impl JobEngine {
                 Ok(path) => progress.info(&format!("wrote {}", path.display())),
                 Err(e) => {
                     eprintln!("reproduce: {e}");
-                    return (JobOutcome { code: 1, stdout }, opts.out.clone());
+                    return (
+                        JobOutcome {
+                            code: 1,
+                            stdout,
+                            canceled: out.canceled,
+                        },
+                        opts.out.clone(),
+                    );
                 }
             }
         }
@@ -194,10 +215,24 @@ impl JobEngine {
                 "run {}: final artifacts not exported",
                 kind.name()
             ));
-            return (JobOutcome { code: 1, stdout }, opts.out.clone());
+            return (
+                JobOutcome {
+                    code: 1,
+                    stdout,
+                    canceled: Some(kind),
+                },
+                opts.out.clone(),
+            );
         }
         let code = render_and_export(opts, &out, progress, tracer, &mut stdout);
-        (JobOutcome { code, stdout }, opts.out.clone())
+        (
+            JobOutcome {
+                code,
+                stdout,
+                canceled: None,
+            },
+            opts.out.clone(),
+        )
     }
 
     /// `reproduce resume`: finish an interrupted `--out` run from its
@@ -215,7 +250,14 @@ impl JobEngine {
                 Ok(r) => r,
                 Err(e) => {
                     eprintln!("reproduce resume: {e}");
-                    return (JobOutcome { code: 1, stdout }, None);
+                    return (
+                        JobOutcome {
+                            code: 1,
+                            stdout,
+                            canceled: None,
+                        },
+                        None,
+                    );
                 }
             };
         if let Some(kind) = out.canceled {
@@ -223,10 +265,24 @@ impl JobEngine {
                 "resume {}: final artifacts not exported",
                 kind.name()
             ));
-            return (JobOutcome { code: 1, stdout }, opts.out.clone());
+            return (
+                JobOutcome {
+                    code: 1,
+                    stdout,
+                    canceled: Some(kind),
+                },
+                opts.out.clone(),
+            );
         }
         let code = render_and_export(&opts, &out, progress, tracer, &mut stdout);
-        (JobOutcome { code, stdout }, opts.out.clone())
+        (
+            JobOutcome {
+                code,
+                stdout,
+                canceled: None,
+            },
+            opts.out.clone(),
+        )
     }
 }
 
@@ -327,17 +383,28 @@ fn run_characterize(
     let mut stdout = String::new();
     if opts.list {
         stdout.push_str(&charrun::render_grid_list(opts));
-        return JobOutcome { code: 0, stdout };
+        return JobOutcome {
+            code: 0,
+            stdout,
+            canceled: None,
+        };
     }
     let out = charrun::run_characterize(opts, progress, tracer);
-    if let Some(kind) = opts.cancel.fired() {
+    // Latched once: the same observation gates the export below and
+    // becomes the outcome's terminal cause.
+    let canceled = opts.cancel.fired();
+    if let Some(kind) = canceled {
         // A partial sweep is not a cost table; keep runtime.json, skip
         // the exports.
         progress.info(&format!(
             "characterize {}: cost table not exported",
             kind.name()
         ));
-        return JobOutcome { code: 1, stdout };
+        return JobOutcome {
+            code: 1,
+            stdout,
+            canceled,
+        };
     }
     let json = vax_analysis::costs_json(&out.table);
     let mut code = i32::from(!out.failed_cells.is_empty());
@@ -373,7 +440,11 @@ fn run_characterize(
         }
         None => stdout.push_str(&json),
     }
-    JobOutcome { code, stdout }
+    JobOutcome {
+        code,
+        stdout,
+        canceled: None,
+    }
 }
 
 /// `reproduce refute`: adversarial cross-checks over the probe grid.
@@ -382,12 +453,16 @@ fn run_characterize(
 /// in `--fixtures DIR`.
 fn run_refute(opts: &CharacterizeOptions, progress: &Progress, tracer: &Tracer) -> JobOutcome {
     let mut stdout = String::new();
-    let code = match charrun::run_refute(opts, progress, tracer) {
+    let result = charrun::run_refute(opts, progress, tracer);
+    // Latched once: the same observation suppresses the partial verdict
+    // list and becomes the outcome's terminal cause.
+    let canceled = opts.cancel.fired();
+    let code = match result {
         Err(msg) => {
             eprintln!("reproduce refute: {msg}");
             2
         }
-        Ok(_) if opts.cancel.fired().is_some() => {
+        Ok(_) if canceled.is_some() => {
             // The sweep stopped early; a partial verdict list would read
             // as "the rest of the grid survived", which it did not.
             1
@@ -407,7 +482,11 @@ fn run_refute(opts: &CharacterizeOptions, progress: &Progress, tracer: &Tracer) 
             i32::from(!out.refuted_cells.is_empty() || !out.failed_cells.is_empty())
         }
     };
-    JobOutcome { code, stdout }
+    JobOutcome {
+        code,
+        stdout,
+        canceled,
+    }
 }
 
 /// Everything downstream of the simulation: profile, per-workload CPIs,

@@ -35,6 +35,11 @@ pub const JOBSPEC_FORMAT_VERSION: u64 = 1;
 /// operator; a service must not let one request spawn an absurd grid.
 pub const MAX_GRID: u64 = 4096;
 
+/// Upper bound on `deadline_secs` (~31.7 years). Anything larger is a
+/// client bug, and huge values would overflow `Duration`/`Instant`
+/// arithmetic when the deadline is armed.
+pub const MAX_DEADLINE_SECS: f64 = 1e9;
+
 /// A validated job description: one measurement run, one characterization
 /// sweep, or one refutation sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,7 +61,8 @@ pub struct RunSpec {
     pub jobs: Option<u64>,
     /// Suggested retry budget per cell (`None` = the runner's default).
     pub retries: Option<u64>,
-    /// Wall-clock budget in seconds (> 0), measured from job start; the
+    /// Wall-clock budget in seconds (> 0, ≤ [`MAX_DEADLINE_SECS`]),
+    /// measured from job start; the
     /// serve daemon ends the job with terminal status `deadline_exceeded`
     /// at the next cell boundary once elapsed. `None` = no deadline.
     /// Runtime-only: never changes results, only whether the job is
@@ -331,6 +337,14 @@ impl JobSpec {
         let deadline_secs = field_f64(json, "deadline_secs")?;
         if deadline_secs == Some(0.0) {
             return Err("jobspec: 'deadline_secs' must be greater than zero".to_string());
+        }
+        if deadline_secs.is_some_and(|d| d > MAX_DEADLINE_SECS) {
+            // An absurd budget is a client bug, and unbounded values can
+            // overflow Duration/Instant arithmetic downstream — reject at
+            // the validation boundary like every other field.
+            return Err(format!(
+                "jobspec: 'deadline_secs' must be at most {MAX_DEADLINE_SECS:e}"
+            ));
         }
         match kind.as_str() {
             "run" => {
@@ -693,9 +707,18 @@ mod tests {
             r#"{"kind": "characterize", "iters": 0}"#,
             r#"{"kind": "run", "deadline_secs": 0}"#,
             r#"{"kind": "run", "deadline_secs": -1}"#,
+            // Values past MAX_DEADLINE_SECS pass the finite/non-negative
+            // check but would overflow Duration/Instant arithmetic when
+            // the deadline is armed — they must die here, not panic the
+            // serve worker.
+            r#"{"kind": "run", "deadline_secs": 1e15}"#,
+            r#"{"kind": "run", "deadline_secs": 1e30}"#,
+            r#"{"kind": "run", "deadline_secs": 1e300}"#,
         ] {
             assert!(JobSpec::decode(body).is_err(), "{body} must be rejected");
         }
+        let ok = format!(r#"{{"kind": "run", "deadline_secs": {MAX_DEADLINE_SECS}}}"#);
+        assert!(JobSpec::decode(&ok).is_ok(), "the bound itself is valid");
     }
 
     #[test]

@@ -33,7 +33,7 @@
 //! ## Durability and recovery
 //!
 //! Every submission and state transition is appended to
-//! `ROOT/journal.ndjson`, rewritten atomically on each append. A daemon
+//! `ROOT/journal.ndjson` (one fsynced `O_APPEND` line each). A daemon
 //! restarted on the same `--root` replays the journal before accepting
 //! traffic: terminal jobs keep their status (and their downloadable
 //! artifacts), still-queued jobs are re-enqueued, and a job that was
@@ -139,9 +139,13 @@ struct Job {
     recovered: bool,
 }
 
-/// The durable job journal: newline-delimited JSON under the serve root,
-/// rewritten atomically on every append so a crash never leaves a torn
-/// file. Kept small by startup compaction (one folded record per job).
+/// The durable job journal: newline-delimited JSON under the serve root.
+/// Each append is one `O_APPEND` line write plus fsync — O(1) per state
+/// transition regardless of history length (rewriting the full file per
+/// append would be O(n²) write amplification over a daemon's lifetime).
+/// A crash can tear at most the trailing line, which replay already
+/// warns about and skips; startup compaction then rewrites the file
+/// atomically to one folded record per job, healing any damage.
 #[derive(Debug, Default)]
 struct Journal {
     /// `None` journals to memory only (unit tests).
@@ -157,14 +161,25 @@ impl Journal {
         }
     }
 
+    /// Durably append one record. A write failure is warned about, not
+    /// fatal: the daemon keeps serving (degraded durability beats
+    /// refusing work).
     fn append(&mut self, record: &Json) {
-        self.lines.push(record.to_string_compact());
-        self.flush();
+        let line = record.to_string_compact();
+        if let Some(path) = &self.path {
+            if let Err(e) = append_line(path, &line) {
+                eprintln!(
+                    "reproduce serve: cannot append to journal {}: {e}",
+                    path.display()
+                );
+            }
+        }
+        self.lines.push(line);
     }
 
-    /// Rewrite the whole journal atomically. A write failure is warned
-    /// about, not fatal: the daemon keeps serving (degraded durability
-    /// beats refusing work).
+    /// Rewrite the whole journal atomically from `lines` — the startup
+    /// compaction path, not the append path. Failures are warned about,
+    /// not fatal.
     fn flush(&self) {
         let Some(path) = &self.path else { return };
         let mut text = self.lines.join("\n");
@@ -178,6 +193,17 @@ impl Journal {
             );
         }
     }
+}
+
+/// One `O_APPEND` write of `line` + newline, fsynced before returning so
+/// the record is durable when the caller's state transition proceeds.
+fn append_line(path: &Path, line: &str) -> std::io::Result<()> {
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    file.write_all(format!("{line}\n").as_bytes())?;
+    file.sync_data()
 }
 
 /// A submission record: carries the canonical spec so a restart can
@@ -337,6 +363,28 @@ struct Shared {
     recovering: AtomicUsize,
     /// In-flight connections, for the `--max-connections` load-shed cap.
     connections: AtomicUsize,
+}
+
+/// One claimed slot under the `--max-connections` cap. Claiming and
+/// releasing go through this guard so the count stays balanced on every
+/// exit path — including a panicking handler thread, which would
+/// otherwise leak its slot forever and eventually wedge the load-shed
+/// path into answering 503 to all traffic.
+struct ConnectionSlot(Arc<Shared>);
+
+impl ConnectionSlot {
+    /// Claim a slot; returns the guard and the in-flight count after
+    /// claiming (for the over-cap check).
+    fn acquire(shared: &Arc<Shared>) -> (ConnectionSlot, usize) {
+        let active = shared.connections.fetch_add(1, Ordering::SeqCst) + 1;
+        (ConnectionSlot(Arc::clone(shared)), active)
+    }
+}
+
+impl Drop for ConnectionSlot {
+    fn drop(&mut self) {
+        self.0.connections.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 /// Lock the registry, recovering from a poisoned mutex: a handler
@@ -525,10 +573,10 @@ pub fn run_serve(opts: &ServeOptions) -> i32 {
         }
         match listener.accept() {
             Ok((stream, _peer)) => {
-                let active = shared.connections.fetch_add(1, Ordering::SeqCst) + 1;
+                let (slot, active) = ConnectionSlot::acquire(&shared);
                 if active > shared.opts.max_connections {
-                    // Load-shed inline: one small write, then close.
-                    shared.connections.fetch_sub(1, Ordering::SeqCst);
+                    // Load-shed inline: one small write, then close; the
+                    // slot releases when `slot` drops at scope end.
                     let mut stream = stream;
                     let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
                     let _ = error_response(503, "connection limit reached; retry shortly")
@@ -537,8 +585,10 @@ pub fn run_serve(opts: &ServeOptions) -> i32 {
                 } else {
                     let shared = Arc::clone(&shared);
                     handlers.push(std::thread::spawn(move || {
+                        // The guard rides into the handler thread so even
+                        // a panic unwinds through its Drop.
+                        let _slot = slot;
                         handle_connection(stream, &shared);
-                        shared.connections.fetch_sub(1, Ordering::SeqCst);
                     }));
                 }
             }
@@ -617,8 +667,15 @@ fn execute_job(shared: &Shared, engine: &JobEngine, id: &str) {
         reg.journal.append(&record);
         picked
     };
-    if let Some(secs) = spec.deadline_secs() {
-        cancel.arm_deadline(Duration::from_secs_f64(secs));
+    // JobSpec::decode bounds deadline_secs, but a worker panic here is a
+    // daemon outage (and a journaled job would replay the panic on every
+    // restart), so conversion stays fallible: an unconvertible budget
+    // means no deadline, never an unwind.
+    if let Some(budget) = spec
+        .deadline_secs()
+        .and_then(|s| Duration::try_from_secs_f64(s).ok())
+    {
+        cancel.arm_deadline(budget);
     }
     // A recovered measurement run with an intact checkpoint header picks
     // up from its per-cell journal instead of starting over.
@@ -660,10 +717,16 @@ fn execute_job(shared: &Shared, engine: &JobEngine, id: &str) {
             JobOutcome {
                 code: 1,
                 stdout: String::new(),
+                canceled: None,
             }
         }
     };
-    let terminal = match cancel.fired() {
+    // The engine latched the cancel cause it acted on; re-polling the
+    // token here would race a deadline that elapsed *after* the run
+    // finished and exported, mislabeling a completed job as
+    // deadline_exceeded (final artifacts exist exactly when the engine
+    // says the job was not canceled).
+    let terminal = match outcome.canceled {
         Some(kind) => JobState::Canceled { kind },
         None => JobState::Finished { code: outcome.code },
     };
@@ -1259,7 +1322,7 @@ mod tests {
     }
 
     #[test]
-    fn journal_appends_are_atomic_and_cumulative() {
+    fn journal_appends_are_durable_and_cumulative() {
         let dir = std::env::temp_dir().join(format!("vax-journal-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join(JOURNAL_NAME);
@@ -1272,7 +1335,52 @@ mod tests {
         assert!(warnings.is_empty());
         assert_eq!(jobs.len(), 1);
         assert!(jobs[0].recovered);
+        // Appends land after a compaction rewrite, not over it.
+        journal.lines =
+            vec![folded_record("j-000001", &run_spec(), &JobState::Queued).to_string_compact()];
+        journal.flush();
+        journal.append(&journal_state("j-000001", "done", Some(0)));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        let (jobs, _) = replay_journal(&text);
+        assert_eq!(jobs[0].state, JobState::Finished { code: 0 });
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_trailing_append_is_skipped_and_healed_by_replay() {
+        // A crash mid-append tears at most the trailing line; replay
+        // must keep every complete record and warn about the tear.
+        let spec = run_spec();
+        let text = format!(
+            "{}\n{}\n{{\"id\": \"j-000002\", \"sta",
+            journal_submit("j-000001", &spec).to_string_compact(),
+            journal_state("j-000001", "running", None).to_string_compact(),
+        );
+        let (jobs, warnings) = replay_journal(&text);
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].id, "j-000001");
+        assert!(jobs[0].recovered);
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+    }
+
+    #[test]
+    fn connection_slot_releases_on_handler_panic() {
+        let shared = bare_shared();
+        let (slot, active) = ConnectionSlot::acquire(&shared);
+        assert_eq!(active, 1);
+        let _ = std::thread::spawn(move || {
+            let _slot = slot;
+            panic!("handler dies mid-request");
+        })
+        .join();
+        // The panicking thread's unwind ran the guard's Drop: no leak,
+        // so the load-shed cap cannot wedge into permanent 503s.
+        assert_eq!(shared.connections.load(Ordering::SeqCst), 0);
+        let (slot, active) = ConnectionSlot::acquire(&shared);
+        assert_eq!(active, 1);
+        drop(slot);
+        assert_eq!(shared.connections.load(Ordering::SeqCst), 0);
     }
 
     #[test]
